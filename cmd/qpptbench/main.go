@@ -1,0 +1,189 @@
+// Command qpptbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|kprime|compression|duplicates|batch|all
+//	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
+//
+// Absolute numbers will differ from the paper's C/C++ system; the point
+// is to reproduce the shapes: who wins, by roughly what factor, and where
+// the crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qppt/internal/bench"
+	"qppt/internal/ssb"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, kprime, compression, duplicates, batch, all")
+	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
+	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
+	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -sizes entry %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	wants := func(name string) bool { return *fig == "all" || *fig == name }
+	var ds *ssb.Dataset
+	dataset := func() *ssb.Dataset {
+		if ds == nil {
+			fmt.Printf("loading SSB SF=%g (seed %d)...\n", *sf, *seed)
+			ds = ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: *seed})
+			if err := bench.WarmupQueries(ds); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded: %d lineorder rows\n\n", ds.Lineorder.Rows())
+		}
+		return ds
+	}
+
+	if wants("3a") {
+		fmt.Println("=== Figure 3(a): insert/update performance [ns/key] ===")
+		printFig3(bench.Figure3a(sizes))
+	}
+	if wants("3b") {
+		fmt.Println("=== Figure 3(b): lookup performance [ns/key] ===")
+		printFig3(bench.Figure3b(sizes))
+	}
+	if wants("7") {
+		fmt.Printf("=== Figure 7: SSB query performance, SF=%g [ms] ===\n", *sf)
+		rows, err := bench.Figure7(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+	}
+	if wants("8") {
+		fmt.Println("=== Figure 8: SSB Q1.1 with and without select-join [ms] ===")
+		rows, err := bench.Figure8(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+		share, err := bench.Figure8SelectionShare(dataset())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  selection share of the w/o-select-join plan: %.0f%% (paper: ~95%%)\n\n", share*100)
+	}
+	if wants("9") {
+		fmt.Println("=== Figure 9: SSB Q4.1 multi-way join configurations [ms] ===")
+		rows, err := bench.Figure9(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+	}
+	if wants("joinbuffer") {
+		fmt.Println("=== Ablation: joinbuffer size on Q2.3 (demonstrator knob) [ms] ===")
+		rows, err := bench.AblationJoinBuffer(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+	}
+	if wants("kprime") {
+		fmt.Println("=== Ablation: prefix length k' (Section 2.1) ===")
+		n := min(sizes[0], 2000000)
+		for _, r := range bench.AblationKPrime(n) {
+			fmt.Printf("  k'=%d %-6s  insert %7.1f ns/key  lookup %7.1f ns/key  %6.1f B/key\n",
+				r.KPrime, r.Dist, r.InsertNs, r.LookupNs, r.BytesPerKey)
+		}
+		fmt.Println()
+	}
+	if wants("compression") {
+		fmt.Println("=== Ablation: KISS bitmask compression (Section 2.2) ===")
+		n := min(sizes[0], 2000000)
+		for _, r := range bench.AblationKISSCompression(n) {
+			fmt.Printf("  %-6s compress=%-5v  insert %7.1f ns/key  %8.2f MB  RCU copies %d\n",
+				r.Dist, r.Compress, r.InsertNs, float64(r.Bytes)/1e6, r.RCUCopies)
+		}
+		fmt.Println()
+	}
+	if wants("duplicates") {
+		fmt.Println("=== Ablation: duplicate handling (Section 2.4, Figure 4) ===")
+		for _, r := range bench.AblationDuplicates(1000000, 2, 5) {
+			fmt.Printf("  %-20s scan %6.2f ns/row  %8.2f MB\n",
+				r.Layout, r.ScanNs, float64(r.Bytes)/1e6)
+		}
+		fmt.Println()
+	}
+	if wants("batch") {
+		fmt.Println("=== Ablation: batch lookup size (Section 2.3) ===")
+		n := min(sizes[len(sizes)-1], 8000000)
+		for _, r := range bench.AblationBatchSize(n) {
+			fmt.Printf("  batch %5d  lookup %7.1f ns/key\n", r.BatchSize, r.LookupNs)
+		}
+		fmt.Println()
+	}
+}
+
+func printFig3(rows []bench.Fig3Row) {
+	bySize := map[int][]bench.Fig3Row{}
+	var sizes []int
+	for _, r := range rows {
+		if len(bySize[r.Size]) == 0 {
+			sizes = append(sizes, r.Size)
+		}
+		bySize[r.Size] = append(bySize[r.Size], r)
+	}
+	fmt.Printf("  %-14s", "structure")
+	for _, s := range sizes {
+		fmt.Printf(" %10s", humanCount(s))
+	}
+	fmt.Println()
+	for _, structure := range bench.Fig3Structures {
+		fmt.Printf("  %-14s", structure)
+		for _, s := range sizes {
+			for _, r := range bySize[s] {
+				if r.Structure == structure {
+					fmt.Printf(" %10.1f", r.NsPerKey)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func printQueryTimes(rows []bench.QueryTime) {
+	for _, r := range rows {
+		label := r.Engine
+		if r.Config != "" {
+			label += " " + r.Config
+		}
+		fmt.Printf("  Q%-4s %-48s %10.1f ms  (%d rows)\n", r.Query, label, r.Millis, r.Rows)
+	}
+	fmt.Println()
+}
+
+func humanCount(n int) string {
+	switch {
+	case n%1000000 == 0:
+		return fmt.Sprintf("%dM", n/1000000)
+	case n%1000 == 0:
+		return fmt.Sprintf("%dK", n/1000)
+	}
+	return strconv.Itoa(n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qpptbench:", err)
+	os.Exit(1)
+}

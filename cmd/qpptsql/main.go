@@ -1,0 +1,125 @@
+// Command qpptsql is an interactive SQL shell over an in-memory SSB
+// instance, executing queries through the QPPT engine.
+//
+// Usage:
+//
+//	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
+//
+// Meta commands inside the shell:
+//
+//	\q            quit
+//	\ssb <id>     run benchmark query <id> (for example: \ssb 2.3)
+//	\tables       list tables and row counts
+//	\stats        toggle per-operator statistics
+//
+// Statements may span lines and end with a semicolon.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qppt/internal/core"
+	"qppt/internal/sql"
+	"qppt/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "SSB scale factor")
+	stats := flag.Bool("stats", false, "print per-operator statistics")
+	noSJ := flag.Bool("no-select-join", false, "disable composed select-join operators")
+	buffer := flag.Int("buffer", 512, "joinbuffer/selectionbuffer size (1 disables batching)")
+	flag.Parse()
+
+	fmt.Printf("loading SSB at SF=%g...\n", *sf)
+	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 42})
+	fmt.Printf("ready: lineorder=%d customer=%d supplier=%d part=%d date=%d rows\n",
+		ds.Lineorder.Rows(), ds.Customer.Rows(), ds.Supplier.Rows(), ds.Part.Rows(), ds.Date.Rows())
+	fmt.Println(`type SQL ending with ';', or \q to quit, \ssb <id> for benchmark queries`)
+
+	planner := sql.NewPlanner(ds.Cat)
+	showStats := *stats
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("qppt> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case buf.Len() == 0 && line == `\q`:
+			return
+		case buf.Len() == 0 && line == `\tables`:
+			for _, t := range []string{"lineorder", "date", "customer", "supplier", "part"} {
+				fmt.Printf("  %-10s %9d rows\n", t, ds.Cat.Table(t).Rows())
+			}
+			prompt()
+			continue
+		case buf.Len() == 0 && line == `\stats`:
+			showStats = !showStats
+			fmt.Printf("statistics %v\n", map[bool]string{true: "on", false: "off"}[showStats])
+			prompt()
+			continue
+		case buf.Len() == 0 && strings.HasPrefix(line, `\ssb `):
+			qid := strings.TrimSpace(strings.TrimPrefix(line, `\ssb `))
+			text, ok := ssb.SQLTexts[qid]
+			if !ok {
+				fmt.Printf("unknown SSB query %q (valid: %s)\n", qid, strings.Join(ssb.QueryIDs, " "))
+				prompt()
+				continue
+			}
+			fmt.Println(text)
+			run(planner, text, showStats, *noSJ, *buffer)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte(' ')
+		if strings.HasSuffix(line, ";") {
+			run(planner, buf.String(), showStats, *noSJ, *buffer)
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func run(planner *sql.Planner, text string, stats, noSJ bool, buffer int) {
+	stmt, err := planner.PlanSQL(text, sql.Options{
+		UseSelectJoin: !noSJ,
+		Exec:          core.Options{CollectStats: stats, BufferSize: buffer},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rows, planStats, err := stmt.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(strings.Join(rows.Attrs, " | "))
+	for i := range rows.Rows {
+		if i == 40 {
+			fmt.Printf("... %d more rows\n", len(rows.Rows)-40)
+			break
+		}
+		cells := make([]string, len(rows.Attrs))
+		for c := range rows.Attrs {
+			cells[c] = rows.Decode(i, c)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(rows.Rows))
+	if stats && planStats != nil {
+		fmt.Print(planStats)
+	}
+}

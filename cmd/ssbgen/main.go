@@ -1,0 +1,92 @@
+// Command ssbgen generates Star Schema Benchmark data and writes it as
+// CSV files (one per table), for inspection or for loading into other
+// systems to cross-check results.
+//
+// Usage:
+//
+//	ssbgen -sf 0.1 -seed 42 -out ./ssb-data [-tables lineorder,date,...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qppt/internal/catalog"
+	"qppt/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "scale factor (lineorder ≈ 6,000,000 × SF rows)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "ssb-data", "output directory")
+	tables := flag.String("tables", "", "comma-separated table subset (default: all)")
+	flag.Parse()
+
+	data := ssb.Generate(ssb.GenConfig{SF: *sf, Seed: *seed})
+	want := map[string]bool{}
+	if *tables != "" {
+		for _, t := range strings.Split(*tables, ",") {
+			want[strings.TrimSpace(t)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for name, cols := range data.Tables {
+		if len(want) > 0 && !want[name] {
+			continue
+		}
+		if err := writeCSV(filepath.Join(*out, name+".csv"), cols); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeCSV(path string, cols []catalog.ColumnData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	n := 0
+	for i, c := range cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c.Name)
+		if c.Strs != nil {
+			n = len(c.Strs)
+		} else {
+			n = len(c.Ints)
+		}
+	}
+	w.WriteByte('\n')
+	for r := 0; r < n; r++ {
+		for i, c := range cols {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			if c.Strs != nil {
+				w.WriteString(c.Strs[r])
+			} else {
+				fmt.Fprintf(w, "%d", c.Ints[r])
+			}
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, n)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// analytics runs ad-hoc OLAP questions over a loaded SSB instance through
+// the SQL front end: the kind of interactive slicing the paper's intro
+// motivates. Every statement is parsed, planned into a QPPT plan
+// (selections → composed select-join → aggregating output index) and
+// executed; results print with dictionary strings decoded.
+//
+// Run with: go run ./examples/analytics [-sf 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"qppt/internal/core"
+	"qppt/internal/sql"
+	"qppt/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "SSB scale factor")
+	flag.Parse()
+
+	fmt.Printf("loading SSB at SF=%g...\n\n", *sf)
+	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 7})
+	planner := sql.NewPlanner(ds.Cat)
+
+	queries := []struct{ title, text string }{
+		{"Revenue by customer region (who buys the most?)",
+			`select c_region, sum(lo_revenue) as revenue
+			 from lineorder, customer
+			 where lo_custkey = c_custkey
+			 group by c_region
+			 order by revenue desc`},
+		{"Profit by year for European suppliers",
+			`select d_year, sum(lo_revenue - lo_supplycost) as profit
+			 from lineorder, supplier, ` + "`date`" + `
+			 where lo_suppkey = s_suppkey and lo_orderdate = d_datekey
+			 and s_region = 'EUROPE'
+			 group by d_year
+			 order by d_year`},
+		{"Heavy discounting: revenue by discount tier for big orders",
+			`select lo_discount, sum(lo_revenue) as revenue
+			 from lineorder
+			 where lo_quantity >= 40
+			 group by lo_discount
+			 order by lo_discount`},
+		{"Top manufacturer categories in the US market",
+			`select p_category, sum(lo_revenue) as revenue
+			 from lineorder, part, customer
+			 where lo_partkey = p_partkey and lo_custkey = c_custkey
+			 and c_nation = 'UNITED STATES'
+			 group by p_category
+			 order by revenue desc`},
+	}
+
+	for _, q := range queries {
+		fmt.Println("──", q.title)
+		stmt, err := planner.PlanSQL(q.text, sql.Options{
+			UseSelectJoin: true,
+			Exec:          core.Options{CollectStats: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, stats, err := stmt.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for c, a := range rows.Attrs {
+			if c > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%s", a)
+		}
+		fmt.Println()
+		for i := range rows.Rows {
+			if i == 8 {
+				fmt.Printf("  ... %d more rows\n", len(rows.Rows)-8)
+				break
+			}
+			for c := range rows.Attrs {
+				if c > 0 {
+					fmt.Print(" | ")
+				}
+				fmt.Print(rows.Decode(i, c))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%d rows, %v total)\n\n", len(rows.Rows), stats.Total)
+	}
+}

@@ -1,0 +1,76 @@
+// ssb_q23 walks through the paper's running example: Star Schema
+// Benchmark query 2.3 (Figure 5), executed as a QPPT plan.
+//
+//	select sum(lo_revenue), d_year, p_brand1
+//	from lineorder, date, part, supplier
+//	where lo_orderdate = d_datekey and lo_partkey = p_partkey
+//	  and lo_suppkey = s_suppkey
+//	  and p_brand1 = 'MFGR#2221' and s_region = 'EUROPE'
+//	group by d_year, p_brand1 order by d_year, p_brand1
+//
+// The demo mirrors the paper's demonstrator (Appendix A): it runs the
+// query under different optimizer settings — select-join on/off and
+// several joinbuffer sizes — and prints the per-operator execution
+// statistics (time, index vs materialization split, output sizes).
+//
+// Run with: go run ./examples/ssb_q23 [-sf 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"qppt/internal/core"
+	"qppt/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "SSB scale factor")
+	flag.Parse()
+
+	fmt.Printf("loading SSB at SF=%g...\n", *sf)
+	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 42})
+	fmt.Printf("lineorder: %d rows\n\n", ds.Lineorder.Rows())
+
+	configs := []struct {
+		name string
+		opt  ssb.PlanOptions
+	}{
+		{"select-join ON, joinbuffer 512 (default)", ssb.PlanOptions{
+			UseSelectJoin: true,
+			Exec:          core.Options{BufferSize: 512, CollectStats: true}}},
+		{"select-join OFF (separate σ_part)", ssb.PlanOptions{
+			UseSelectJoin: false,
+			Exec:          core.Options{BufferSize: 512, CollectStats: true}}},
+		{"select-join ON, joinbuffer 1 (no batching)", ssb.PlanOptions{
+			UseSelectJoin: true,
+			Exec:          core.Options{BufferSize: 1, CollectStats: true}}},
+	}
+
+	var ref *ssb.QueryResult
+	for _, cfg := range configs {
+		res, stats, err := ds.RunQPPT("2.3", cfg.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("── %s ──\n", cfg.name)
+		fmt.Print(stats)
+		if ref == nil {
+			ref = res
+		} else if !res.Equal(ref) {
+			log.Fatal("optimizer settings changed the result!")
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("result (%d groups, already sorted by the output index key):\n", len(ref.Rows))
+	for i, row := range ref.Rows {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(ref.Rows)-10)
+			break
+		}
+		dec := ds.DecodeRow("2.3", row)
+		fmt.Printf("  d_year=%s p_brand1=%s revenue=%s\n", dec[0], dec[1], dec[2])
+	}
+}

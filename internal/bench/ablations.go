@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qppt/internal/core"
+	"qppt/internal/duplist"
+	"qppt/internal/kisstree"
+	"qppt/internal/prefixtree"
+	"qppt/internal/ssb"
+)
+
+// AblationJoinBuffer sweeps the joinbuffer/selectionbuffer size on SSB
+// query 2.3 — the knob the paper's demonstrator exposes (Appendix A):
+// size 1 disables batching; too-small and too-large buffers both hurt.
+func AblationJoinBuffer(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
+	var out []QueryTime
+	for _, size := range []int{1, 64, 512, 2048} {
+		size := size
+		var err error
+		ms, rows := timeIt(reps, func() int {
+			r, _, e := ds.RunQPPT("2.3", ssb.PlanOptions{
+				UseSelectJoin: true,
+				Exec:          core.Options{BufferSize: size},
+			})
+			if e != nil {
+				err = e
+				return 0
+			}
+			return len(r.Rows)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryTime{
+			Query: "2.3", Engine: EngineQPPT,
+			Config: fmt.Sprintf("joinbuffer=%d", size), Millis: ms, Rows: rows,
+		})
+	}
+	return out, nil
+}
+
+// A KPrimeRow is one point of the k′ trade-off ablation (paper
+// Section 2.1): higher k′ halves tree depth (faster) but costs memory on
+// sparse key distributions.
+type KPrimeRow struct {
+	KPrime      uint
+	Dist        string // "dense" or "sparse"
+	InsertNs    float64
+	LookupNs    float64
+	Bytes       int
+	BytesPerKey float64
+}
+
+// AblationKPrime measures insert/lookup time and memory across prefix
+// lengths for dense and sparse 32-bit key sets.
+func AblationKPrime(n int) []KPrimeRow {
+	var out []KPrimeRow
+	for _, dist := range []string{"dense", "sparse"} {
+		keys := make([]uint64, n)
+		rng := rand.New(rand.NewSource(41))
+		if dist == "dense" {
+			for i := range keys {
+				keys[i] = uint64(i)
+			}
+			rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		} else {
+			for i := range keys {
+				keys[i] = uint64(rng.Uint32())
+			}
+		}
+		for _, kp := range []uint{2, 4, 8} {
+			t := prefixtree.MustNew(prefixtree.Config{PrefixLen: kp, KeyBits: 32})
+			insertNs := timePerKey(n, func() {
+				for _, k := range keys {
+					t.Insert(k, nil)
+				}
+			})
+			lookupNs := timePerKey(n, func() {
+				for _, k := range keys {
+					if lf := t.Lookup(k); lf != nil {
+						sink += lf.Key
+					}
+				}
+			})
+			out = append(out, KPrimeRow{
+				KPrime: kp, Dist: dist,
+				InsertNs: insertNs, LookupNs: lookupNs,
+				Bytes: t.Bytes(), BytesPerKey: float64(t.Bytes()) / float64(t.Keys()),
+			})
+		}
+	}
+	return out
+}
+
+// A CompressionRow is one point of the KISS bitmask-compression ablation
+// (paper Section 2.2): compression saves memory on sparse domains but
+// pays an RCU copy for every new key on dense domains — the reason QPPT
+// disables it for dense value ranges.
+type CompressionRow struct {
+	Dist      string
+	Compress  bool
+	InsertNs  float64
+	Bytes     int
+	RCUCopies int
+}
+
+// AblationKISSCompression measures dense and sparse insert costs with and
+// without second-level node compression.
+func AblationKISSCompression(n int) []CompressionRow {
+	var out []CompressionRow
+	for _, dist := range []string{"dense", "sparse"} {
+		keys := make([]uint64, n)
+		rng := rand.New(rand.NewSource(43))
+		if dist == "dense" {
+			for i := range keys {
+				keys[i] = uint64(i)
+			}
+			rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		} else {
+			// One key per second-level node region: worst case for the
+			// uncompressed layout's memory, best case for compression.
+			for i := range keys {
+				keys[i] = uint64(rng.Uint32()) &^ 63
+			}
+		}
+		for _, compress := range []bool{false, true} {
+			t := kisstree.MustNew(kisstree.Config{Compress: compress})
+			ns := timePerKey(n, func() {
+				for _, k := range keys {
+					t.Insert(k, nil)
+				}
+			})
+			out = append(out, CompressionRow{
+				Dist: dist, Compress: compress,
+				InsertNs: ns, Bytes: t.Bytes(), RCUCopies: t.RCUCopies(),
+			})
+		}
+	}
+	return out
+}
+
+// A DuplicateRow is one point of the duplicate-layout ablation (paper
+// Section 2.4, Figure 4): sequential doubling segments vs a naive per-row
+// linked list.
+type DuplicateRow struct {
+	Layout string
+	Dups   int
+	ScanNs float64 // per row
+	Bytes  int
+}
+
+// AblationDuplicates builds one key with n duplicate rows in both layouts
+// and measures the scan cost per row and the memory footprint. The
+// segmented layout scans sequential memory; the linked list chases one
+// pointer per row.
+func AblationDuplicates(n int, width int, scans int) []DuplicateRow {
+	row := make([]uint64, width)
+	seg := duplist.New(width)
+	lnk := duplist.NewLinked(width)
+	for i := 0; i < n; i++ {
+		row[0] = uint64(i)
+		seg.Append(row)
+		lnk.Append(row)
+	}
+	segNs := timePerKey(n*scans, func() {
+		for s := 0; s < scans; s++ {
+			seg.Scan(func(r []uint64) bool { sink += r[0]; return true })
+		}
+	})
+	lnkNs := timePerKey(n*scans, func() {
+		for s := 0; s < scans; s++ {
+			lnk.Scan(func(r []uint64) bool { sink += r[0]; return true })
+		}
+	})
+	return []DuplicateRow{
+		{Layout: "segmented (Fig. 4)", Dups: n, ScanNs: segNs, Bytes: seg.Bytes()},
+		{Layout: "linked list", Dups: n, ScanNs: lnkNs, Bytes: lnk.Bytes()},
+	}
+}
+
+// A BatchRow is one point of the batch-size sweep (paper Section 2.3).
+type BatchRow struct {
+	BatchSize int
+	LookupNs  float64
+}
+
+// AblationBatchSize sweeps the KISS-Tree batch lookup size on a large
+// tree; batch size 1 degenerates to scalar lookups.
+func AblationBatchSize(n int) []BatchRow {
+	keys := fig3Keys(n, 47)
+	t := kisstree.MustNew(kisstree.Config{})
+	for _, k := range keys {
+		t.Insert(k, nil)
+	}
+	probes := fig3Keys(n, 49)
+	var out []BatchRow
+	for _, bs := range []int{1, 16, 64, 256, 512, 1024, 4096} {
+		ns := timePerKey(n, func() {
+			if bs == 1 {
+				for _, k := range probes {
+					if lf := t.Lookup(k); lf != nil {
+						sink += lf.Key
+					}
+				}
+				return
+			}
+			for off := 0; off < len(probes); off += bs {
+				end := min(off+bs, len(probes))
+				t.LookupBatch(probes[off:end], func(i int, lf *kisstree.Leaf) {
+					if lf != nil {
+						sink += lf.Key
+					}
+				})
+			}
+		})
+		out = append(out, BatchRow{BatchSize: bs, LookupNs: ns})
+	}
+	return out
+}
+
+// WarmupQueries runs each query once per engine so that Figure 7 timings
+// exclude one-time costs (lazy index builds).
+func WarmupQueries(ds *ssb.Dataset) error {
+	for _, qid := range ssb.QueryIDs {
+		if _, _, err := ds.RunQPPT(qid, ssb.DefaultPlanOptions()); err != nil {
+			return err
+		}
+		if _, err := ds.RunColumn(qid); err != nil {
+			return err
+		}
+		if _, err := ds.RunVector(qid); err != nil {
+			return err
+		}
+	}
+	return nil
+}

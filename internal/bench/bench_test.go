@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"testing"
+
+	"qppt/internal/ssb"
+)
+
+// The harness tests run everything at toy sizes: they guard the plumbing
+// (every figure function runs, returns the right rows, errors propagate),
+// not the numbers.
+
+func TestFigure3Harness(t *testing.T) {
+	sizes := []int{20000}
+	for _, rows := range [][]Fig3Row{Figure3a(sizes), Figure3b(sizes)} {
+		if len(rows) != len(Fig3Structures) {
+			t.Fatalf("%d rows, want %d", len(rows), len(Fig3Structures))
+		}
+		for _, r := range rows {
+			if r.NsPerKey <= 0 {
+				t.Errorf("%s: non-positive ns/key", r.Structure)
+			}
+			if r.Size != sizes[0] {
+				t.Errorf("%s: size %d", r.Structure, r.Size)
+			}
+		}
+	}
+	if Figure3aOne("KISS", 10000) <= 0 || Figure3bOne("PT4", 10000) <= 0 {
+		t.Error("one-cell helpers returned non-positive timings")
+	}
+}
+
+func TestQueryFigureHarness(t *testing.T) {
+	ds := ssb.MustLoad(ssb.GenConfig{SF: 0.005, Seed: 3})
+	if err := WarmupQueries(ds); err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Figure7(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7) != 13*3 {
+		t.Fatalf("figure 7 has %d rows, want 39", len(f7))
+	}
+	// Engines must agree on result cardinality per query.
+	byQuery := map[string]int{}
+	for _, r := range f7 {
+		if prev, seen := byQuery[r.Query]; seen && prev != r.Rows {
+			t.Errorf("Q%s: engines returned %d vs %d rows", r.Query, prev, r.Rows)
+		}
+		byQuery[r.Query] = r.Rows
+	}
+	f8, err := Figure8(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8) != 4 {
+		t.Fatalf("figure 8 has %d rows", len(f8))
+	}
+	share, err := Figure8SelectionShare(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 0 || share > 1 {
+		t.Fatalf("selection share = %f", share)
+	}
+	f9, err := Figure9(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9) != 6 {
+		t.Fatalf("figure 9 has %d rows", len(f9))
+	}
+	jb, err := AblationJoinBuffer(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jb) != 4 {
+		t.Fatalf("joinbuffer ablation has %d rows", len(jb))
+	}
+}
+
+func TestAblationHarness(t *testing.T) {
+	if rows := AblationKPrime(5000); len(rows) != 6 {
+		t.Fatalf("kprime rows = %d", len(rows))
+	}
+	comp := AblationKISSCompression(5000)
+	if len(comp) != 4 {
+		t.Fatalf("compression rows = %d", len(comp))
+	}
+	for _, r := range comp {
+		if r.Dist == "dense" && r.Compress && r.RCUCopies == 0 {
+			t.Error("dense compressed inserts reported no RCU copies")
+		}
+		if !r.Compress && r.RCUCopies != 0 {
+			t.Error("uncompressed inserts reported RCU copies")
+		}
+	}
+	dup := AblationDuplicates(10000, 2, 2)
+	if len(dup) != 2 || dup[0].Bytes >= dup[1].Bytes {
+		t.Fatalf("duplicates ablation: %+v", dup)
+	}
+	if rows := AblationBatchSize(20000); len(rows) != 7 {
+		t.Fatalf("batch rows = %d", len(rows))
+	}
+}

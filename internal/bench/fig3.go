@@ -1,0 +1,218 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: Figure 3 (index structures vs hash tables), Figure 7 (all
+// thirteen SSB queries on three engines), Figure 8 (select-join ablation
+// on Q1.1), Figure 9 (multi-way join arity ablation on Q4.1), plus the
+// design-choice ablations DESIGN.md calls out (joinbuffer size, prefix
+// length k′, KISS compression, duplicate layout, batch size).
+//
+// Absolute numbers will differ from the paper (pure Go vs C on a 2012
+// Xeon); the harness exists to reproduce the *shapes*: orderings,
+// approximate factors, and crossovers.
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"qppt/internal/hashbase"
+	"qppt/internal/kisstree"
+	"qppt/internal/prefixtree"
+)
+
+// Fig3Structures lists the competitors of Figure 3 in plot order: the
+// paper's five series plus OPEN, a modern open-addressing table the paper
+// did not have (both GLib and Boost were node-based chained tables in
+// 2012) — included as a stronger baseline and discussed in EXPERIMENTS.md.
+var Fig3Structures = []string{"PT4", "GLIB", "BOOST", "OPEN", "KISS", "KISS Batched"}
+
+// A Fig3Row is one point of Figure 3: nanoseconds per key for one
+// structure at one index size.
+type Fig3Row struct {
+	Structure string
+	Size      int
+	NsPerKey  float64
+}
+
+// fig3Keys builds the paper's workload: keys randomly picked from a dense
+// sequential range [0, n).
+func fig3Keys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return keys
+}
+
+const fig3Batch = prefixtree.DefaultBatchSize
+
+// Figure3a measures insert/update performance (Figure 3(a)): the time per
+// key to build an index of the given sizes, for the prefix tree (k′=4),
+// the GLib- and Boost-style chained hash tables, the extra open-addressing
+// baseline, and the KISS-Tree with and without batch processing.
+func Figure3a(sizes []int) []Fig3Row {
+	var out []Fig3Row
+	for _, n := range sizes {
+		keys := fig3Keys(n, 31)
+		for _, structure := range Fig3Structures {
+			ns := timePerKey(n, func() {
+				insertAll(structure, keys)
+			})
+			out = append(out, Fig3Row{Structure: structure, Size: n, NsPerKey: ns})
+		}
+	}
+	return out
+}
+
+// Figure3b measures lookup performance (Figure 3(b)): the time per key to
+// look up every key of a pre-built index in random order.
+func Figure3b(sizes []int) []Fig3Row {
+	var out []Fig3Row
+	for _, n := range sizes {
+		keys := fig3Keys(n, 33)
+		probes := fig3Keys(n, 35)
+		for _, structure := range Fig3Structures {
+			idx := buildFor(structure, keys)
+			ns := timePerKey(n, func() { lookupAll(structure, idx, probes) })
+			out = append(out, Fig3Row{Structure: structure, Size: n, NsPerKey: ns})
+		}
+	}
+	return out
+}
+
+// Figure3aOne measures one Figure 3(a) cell: insert ns/key for one
+// structure at one size (the testing.B entry point).
+func Figure3aOne(structure string, n int) float64 {
+	keys := fig3Keys(n, 31)
+	return timePerKey(n, func() { insertAll(structure, keys) })
+}
+
+// Figure3bOne measures one Figure 3(b) cell: lookup ns/key.
+func Figure3bOne(structure string, n int) float64 {
+	keys := fig3Keys(n, 33)
+	probes := fig3Keys(n, 35)
+	idx := buildFor(structure, keys)
+	return timePerKey(n, func() { lookupAll(structure, idx, probes) })
+}
+
+func timePerKey(n int, fn func()) float64 {
+	t0 := time.Now()
+	fn()
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// insertAll builds an index of the structure over keys (discarded after).
+func insertAll(structure string, keys []uint64) {
+	buildFor(structure, keys)
+}
+
+func buildFor(structure string, keys []uint64) any {
+	switch structure {
+	case "PT4":
+		t := prefixtree.MustNew(prefixtree.Config{PrefixLen: 4, KeyBits: 32, PayloadWidth: 1})
+		row := []uint64{0}
+		for _, k := range keys {
+			row[0] = k
+			t.Insert(k, row)
+		}
+		return t
+	case "GLIB":
+		m := hashbase.NewChainedMap(0)
+		for _, k := range keys {
+			m.Insert(k, k)
+		}
+		return m
+	case "BOOST":
+		m := hashbase.NewBoostMap(0)
+		for _, k := range keys {
+			m.Insert(k, k)
+		}
+		return m
+	case "OPEN":
+		m := hashbase.NewOpenMap(0)
+		for _, k := range keys {
+			m.Insert(k, k)
+		}
+		return m
+	case "KISS":
+		t := kisstree.MustNew(kisstree.Config{PayloadWidth: 1})
+		row := []uint64{0}
+		for _, k := range keys {
+			row[0] = k
+			t.Insert(k, row)
+		}
+		return t
+	case "KISS Batched":
+		t := kisstree.MustNew(kisstree.Config{PayloadWidth: 1})
+		rows := make([][]uint64, fig3Batch)
+		arena := make([]uint64, fig3Batch)
+		for i := range rows {
+			rows[i] = arena[i : i+1]
+		}
+		for off := 0; off < len(keys); off += fig3Batch {
+			end := min(off+fig3Batch, len(keys))
+			for i := off; i < end; i++ {
+				arena[i-off] = keys[i]
+			}
+			t.InsertBatch(keys[off:end], rows[:end-off])
+		}
+		return t
+	}
+	panic("bench: unknown structure " + structure)
+}
+
+// sink prevents dead-code elimination of lookup results.
+var sink uint64
+
+func lookupAll(structure string, idx any, probes []uint64) {
+	switch structure {
+	case "PT4":
+		t := idx.(*prefixtree.Tree)
+		for _, k := range probes {
+			if lf := t.Lookup(k); lf != nil {
+				sink += lf.Key
+			}
+		}
+	case "GLIB":
+		m := idx.(*hashbase.ChainedMap)
+		for _, k := range probes {
+			if v, ok := m.Lookup(k); ok {
+				sink += v
+			}
+		}
+	case "BOOST":
+		m := idx.(*hashbase.ChainedMap)
+		for _, k := range probes {
+			if v, ok := m.Lookup(k); ok {
+				sink += v
+			}
+		}
+	case "OPEN":
+		m := idx.(*hashbase.OpenMap)
+		for _, k := range probes {
+			if v, ok := m.Lookup(k); ok {
+				sink += v
+			}
+		}
+	case "KISS":
+		t := idx.(*kisstree.Tree)
+		for _, k := range probes {
+			if lf := t.Lookup(k); lf != nil {
+				sink += lf.Key
+			}
+		}
+	case "KISS Batched":
+		t := idx.(*kisstree.Tree)
+		for off := 0; off < len(probes); off += fig3Batch {
+			end := min(off+fig3Batch, len(probes))
+			t.LookupBatch(probes[off:end], func(i int, lf *kisstree.Leaf) {
+				if lf != nil {
+					sink += lf.Key
+				}
+			})
+		}
+	default:
+		panic("bench: unknown structure " + structure)
+	}
+}

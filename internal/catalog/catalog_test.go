@@ -1,0 +1,321 @@
+package catalog
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"qppt/internal/core"
+	"qppt/internal/duplist"
+)
+
+func TestDictOrderPreserving(t *testing.T) {
+	f := func(strs []string) bool {
+		if len(strs) == 0 {
+			return true
+		}
+		b := NewDictBuilder()
+		for _, s := range strs {
+			b.Add(s)
+		}
+		d := b.Build()
+		for i := 0; i < len(strs)-1; i++ {
+			c1 := d.MustCode(strs[i])
+			c2 := d.MustCode(strs[i+1])
+			if (strs[i] < strs[i+1]) != (c1 < c2) {
+				return false
+			}
+			if d.String(c1) != strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictRangeHelpers(t *testing.T) {
+	b := NewDictBuilder()
+	for _, s := range []string{"MFGR#11", "MFGR#12", "MFGR#13", "MFGR#21", "MFGR#22", "AAA"} {
+		b.Add(s)
+	}
+	d := b.Build()
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if c, ok := d.CeilCode("MFGR#12"); !ok || d.String(c) != "MFGR#12" {
+		t.Error("CeilCode exact match wrong")
+	}
+	if c, ok := d.CeilCode("MFGR#14"); !ok || d.String(c) != "MFGR#21" {
+		t.Error("CeilCode gap wrong")
+	}
+	if _, ok := d.CeilCode("ZZZ"); ok {
+		t.Error("CeilCode past end reported ok")
+	}
+	if c, ok := d.FloorCode("MFGR#14"); !ok || d.String(c) != "MFGR#13" {
+		t.Error("FloorCode gap wrong")
+	}
+	if _, ok := d.FloorCode("A"); ok {
+		t.Error("FloorCode before start reported ok")
+	}
+	lo, hi, ok := d.PrefixRange("MFGR#1")
+	if !ok || d.String(lo) != "MFGR#11" || d.String(hi) != "MFGR#13" {
+		t.Errorf("PrefixRange = %q..%q", d.String(lo), d.String(hi))
+	}
+	if _, _, ok := d.PrefixRange("XX"); ok {
+		t.Error("PrefixRange with no matches reported ok")
+	}
+	if d.Bits() != 3 {
+		t.Errorf("Bits = %d, want 3", d.Bits())
+	}
+}
+
+func loadMini(t *testing.T) (*Catalog, *TableInfo) {
+	t.Helper()
+	c := New()
+	ti, err := c.Load("parts", []ColumnData{
+		{Name: "partkey", Ints: []uint64{10, 11, 12, 13}},
+		{Name: "brand", Strs: []string{"B#2", "B#1", "B#2", "B#3"}},
+		{Name: "size", Ints: []uint64{7, 5, 7, 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ti
+}
+
+func TestLoadAndEncode(t *testing.T) {
+	c, ti := loadMini(t)
+	if c.Table("parts") != ti || c.Table("nope") != nil {
+		t.Fatal("table lookup broken")
+	}
+	if ti.Rows() != 4 {
+		t.Fatalf("Rows = %d", ti.Rows())
+	}
+	if ti.Code("brand", "B#1") != 0 || ti.Code("brand", "B#3") != 2 {
+		t.Fatal("dictionary codes not order-preserving")
+	}
+	if ti.Decode("brand", 1) != "B#2" || ti.Decode("size", 7) != "7" {
+		t.Fatal("decode broken")
+	}
+	if ti.Bits("partkey") != 4 || ti.Bits("brand") != 2 {
+		t.Fatalf("bits = %d/%d", ti.Bits("partkey"), ti.Bits("brand"))
+	}
+	if _, err := c.Load("parts", nil); err == nil {
+		t.Fatal("duplicate load accepted")
+	}
+	if _, err := c.Load("bad", []ColumnData{
+		{Name: "a", Ints: []uint64{1}},
+		{Name: "b", Ints: []uint64{1, 2}},
+	}); err == nil {
+		t.Fatal("ragged load accepted")
+	}
+}
+
+func TestBuildSecondaryIndex(t *testing.T) {
+	_, ti := loadMini(t)
+	idx, err := ti.BuildIndex(IndexDef{KeyCols: []string{"brand"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Keys() != 3 || idx.Rows() != 4 {
+		t.Fatalf("keys/rows = %d/%d", idx.Keys(), idx.Rows())
+	}
+	if idx.Cols[0] != RIDCol || len(idx.Cols) != 1 {
+		t.Fatalf("secondary payload = %v", idx.Cols)
+	}
+	// brand B#2 (code 1) has rids 0 and 2.
+	vals := idx.Idx.Lookup(1)
+	if vals == nil || vals.Len() != 2 {
+		t.Fatal("duplicate key lost rows")
+	}
+	rids := map[uint64]bool{}
+	vals.Scan(func(row []uint64) bool { rids[row[0]] = true; return true })
+	if !rids[0] || !rids[2] {
+		t.Fatalf("rids = %v", rids)
+	}
+	// Cached on second build.
+	again, _ := ti.BuildIndex(IndexDef{KeyCols: []string{"brand"}})
+	if again != idx {
+		t.Fatal("index not cached")
+	}
+	if ti.Index(IndexDef{KeyCols: []string{"brand"}}.IndexName("parts")) != idx {
+		t.Fatal("Index lookup by name failed")
+	}
+}
+
+func TestBuildPartiallyClusteredIndex(t *testing.T) {
+	_, ti := loadMini(t)
+	idx := ti.MustIndex([]string{"partkey"}, "brand", "size")
+	if len(idx.Cols) != 3 || idx.Cols[1] != "brand" || idx.Cols[2] != "size" {
+		t.Fatalf("cols = %v", idx.Cols)
+	}
+	vals := idx.Idx.Lookup(12)
+	if vals == nil || vals.Len() != 1 {
+		t.Fatal("partkey 12 not found")
+	}
+	row := vals.First()
+	if row[0] != 2 || row[1] != ti.Code("brand", "B#2") || row[2] != 7 {
+		t.Fatalf("payload = %v", row)
+	}
+}
+
+func TestBuildComposedKeyIndex(t *testing.T) {
+	_, ti := loadMini(t)
+	idx := ti.MustIndex([]string{"brand", "size"})
+	if len(idx.Key.Attrs) != 2 {
+		t.Fatalf("key attrs = %v", idx.Key.Attrs)
+	}
+	// Iterate: keys must come out sorted by (brand, size).
+	type bs struct{ b, s uint64 }
+	var got []bs
+	comp := idx.Key.Composer()
+	idx.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+		got = append(got, bs{comp.Field(k, 0), comp.Field(k, 1)})
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("%d distinct (brand,size) keys, want 3", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		return got[i].b < got[j].b || (got[i].b == got[j].b && got[i].s < got[j].s)
+	}) {
+		t.Fatal("composed keys not sorted")
+	}
+	if _, err := ti.BuildIndex(IndexDef{KeyCols: []string{"nope"}}); err == nil {
+		t.Fatal("unknown key column accepted")
+	}
+	if _, err := ti.BuildIndex(IndexDef{KeyCols: []string{"brand"}, Include: []string{"nope"}}); err == nil {
+		t.Fatal("unknown include column accepted")
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	_, ti := loadMini(t)
+	cols := ti.Columns()
+	if len(cols) != 3 || len(cols["partkey"]) != 4 {
+		t.Fatalf("columns = %v", cols)
+	}
+	if cols["partkey"][2] != 12 || cols["size"][3] != 9 {
+		t.Fatalf("int columns wrong: %v", cols)
+	}
+	if cols["brand"][1] != ti.Code("brand", "B#1") {
+		t.Fatalf("string column not dictionary-encoded")
+	}
+}
+
+func TestRefreshIndexesAfterMVCCMutations(t *testing.T) {
+	c, ti := loadMini(t)
+	idx := ti.MustIndex([]string{"partkey"}, "brand", "size")
+	if idx.Rows() != 4 {
+		t.Fatalf("initial rows = %d", idx.Rows())
+	}
+
+	// Committed insert, update and delete through the MVCC layer.
+	tx := c.Manager().Begin()
+	tbl := ti.Table
+	if _, err := tx.Insert(tbl, []uint64{14, ti.Code("brand", "B#2"), 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(tbl, 0, []uint64{10, ti.Code("brand", "B#3"), 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old index still serves the old snapshot (plans in flight keep a
+	// consistent view)...
+	if idx.Rows() != 4 {
+		t.Fatalf("old index changed: %d rows", idx.Rows())
+	}
+	// ...and a refresh rebuilds from the committed state: 4 − 1 + 1 rows.
+	if err := ti.RefreshIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := ti.MustIndex([]string{"partkey"}, "brand", "size")
+	if fresh == idx {
+		t.Fatal("refresh returned the stale index")
+	}
+	if fresh.Rows() != 4 {
+		t.Fatalf("refreshed rows = %d, want 4", fresh.Rows())
+	}
+	if fresh.Idx.Lookup(14) == nil {
+		t.Error("inserted key missing after refresh")
+	}
+	if fresh.Idx.Lookup(11) != nil {
+		t.Error("deleted row still indexed")
+	}
+	vals := fresh.Idx.Lookup(10)
+	if vals == nil || vals.First()[1] != ti.Code("brand", "B#3") {
+		t.Error("update not reflected after refresh")
+	}
+	// An aborted transaction must not surface after a refresh.
+	tx2 := c.Manager().Begin()
+	if _, err := tx2.Insert(tbl, []uint64{99, ti.Code("brand", "B#1"), 1}); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	if err := ti.RefreshIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if ti.MustIndex([]string{"partkey"}, "brand", "size").Idx.Lookup(99) != nil {
+		t.Error("aborted insert visible through refreshed index")
+	}
+}
+
+func TestRefreshWidensKeyDomain(t *testing.T) {
+	c, ti := loadMini(t)
+	if ti.Bits("partkey") != 4 {
+		t.Fatalf("initial partkey bits = %d", ti.Bits("partkey"))
+	}
+	tx := c.Manager().Begin()
+	if _, err := tx.Insert(ti.Table, []uint64{1 << 40, ti.Code("brand", "B#1"), 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.RefreshIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Bits("partkey") != 41 {
+		t.Fatalf("partkey bits after refresh = %d, want 41", ti.Bits("partkey"))
+	}
+	// The rebuilt index must hold the wide key (prefix tree, not KISS).
+	idx := ti.MustIndex([]string{"partkey"}, "brand", "size")
+	if idx.Idx.Lookup(1<<40) == nil {
+		t.Error("wide key not indexed after refresh")
+	}
+}
+
+func TestIndexUsableInPlan(t *testing.T) {
+	_, ti := loadMini(t)
+	base := ti.MustIndex([]string{"brand"}, "partkey")
+	sel := &core.Selection{
+		Input: &core.Base{Table: base},
+		Pred:  core.Point(ti.Code("brand", "B#2")),
+		Out: core.OutputSpec{
+			Name:     "σ",
+			Key:      core.SimpleKey("partkey", ti.Bits("partkey")),
+			KeyRefs:  []core.Ref{{Input: 0, Attr: "partkey"}},
+			Cols:     []string{RIDCol},
+			ColExprs: []core.RowExpr{core.Attr(0, RIDCol)},
+		},
+	}
+	out, _, err := (&core.Plan{Root: sel}).Run(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Extract(out)
+	if len(res.Rows) != 2 || res.Rows[0][0] != 10 || res.Rows[1][0] != 12 {
+		t.Fatalf("selection result = %v", res.Rows)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qppt/internal/duplist"
+)
+
+// Options tune plan execution; they are the knobs the paper's demonstrator
+// exposes (Appendix A).
+type Options struct {
+	// BufferSize is the joinbuffer/selectionbuffer size: how many
+	// combinations are buffered before a batched index operation is
+	// issued. 1 disables batching (scalar tuple-at-a-time); the
+	// demonstrator offers 1, 64, 512 and 2048.
+	BufferSize int
+	// Parallel runs independent plan subtrees concurrently (e.g. the
+	// two dimension selections of SSB Q2.3). The paper's evaluation is
+	// single-threaded, so this is off by default.
+	Parallel bool
+	// Workers enables intra-operator parallelism (paper Section 7):
+	// each operator's main scan is split into this many disjoint
+	// key-space partitions processed concurrently, with per-worker
+	// partial output indexes merged at the end. 0 or 1 = off.
+	Workers int
+	// CollectStats gathers per-operator execution statistics.
+	CollectStats bool
+}
+
+// ExecContext carries execution state for one operator invocation.
+type ExecContext struct {
+	opts    Options
+	mu      sync.Mutex // guards opStats under intra-operator parallelism
+	opStats *OperatorStats
+}
+
+func (ec *ExecContext) bufferSize() int {
+	if ec.opts.BufferSize < 1 {
+		return DefaultBufferSize
+	}
+	return ec.opts.BufferSize
+}
+
+func (ec *ExecContext) workers() int {
+	if ec.opts.Workers < 1 {
+		return 1
+	}
+	return ec.opts.Workers
+}
+
+// DefaultBufferSize is the joinbuffer size used when Options does not set
+// one; it matches the middle setting of the paper's demonstrator.
+const DefaultBufferSize = 512
+
+// noteSink folds pipeline counters into the operator statistics,
+// accumulating across partition workers.
+func (ec *ExecContext) noteSink(p *pipeline) {
+	if ec.opStats == nil {
+		return
+	}
+	ec.mu.Lock()
+	ec.opStats.IndexTime += p.snk.insertTime
+	ec.opStats.TuplesIndexed += p.snk.inserted
+	ec.opStats.ProbeLookups += p.lookups
+	ec.mu.Unlock()
+}
+
+// OperatorStats are the per-operator execution statistics the demonstrator
+// visualizes (Appendix A): total time, the portion spent indexing the
+// output, input/output sizes and index types.
+type OperatorStats struct {
+	Label string
+	// Time is the operator's total execution time; MaterializeTime is
+	// the portion spent producing combinations (Time − IndexTime), and
+	// IndexTime the portion spent inserting into the output index.
+	Time            time.Duration
+	MaterializeTime time.Duration
+	IndexTime       time.Duration
+	// TuplesIndexed counts rows inserted into the output index (before
+	// aggregation folds them); ProbeLookups counts assisting-index
+	// lookups issued through the joinbuffer.
+	TuplesIndexed int
+	ProbeLookups  int
+	// OutRows/OutKeys/OutBytes describe the output indexed table.
+	OutRows  int
+	OutKeys  int
+	OutBytes int
+}
+
+// PlanStats aggregates the statistics of one plan execution in
+// post-order (children before parents).
+type PlanStats struct {
+	Ops   []OperatorStats
+	Total time.Duration
+}
+
+func (ps *PlanStats) String() string {
+	if ps == nil {
+		return "(no stats)"
+	}
+	s := fmt.Sprintf("total %v\n", ps.Total)
+	for _, op := range ps.Ops {
+		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B\n",
+			op.Label, op.Time.Round(time.Microsecond), op.IndexTime.Round(time.Microsecond),
+			op.OutRows, op.OutKeys, op.OutBytes)
+	}
+	return s
+}
+
+// A Plan is an executable QPPT operator DAG.
+type Plan struct {
+	Root Operator
+}
+
+// Run executes the plan and returns the final indexed table (the query
+// result index, already grouped and sorted by its key) plus statistics
+// when requested.
+func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
+	ex := &executor{opts: opts, memo: make(map[Operator]*memoEntry)}
+	var stats *PlanStats
+	if opts.CollectStats {
+		stats = &PlanStats{}
+	}
+	t0 := time.Now()
+	out, err := ex.resolve(pl.Root, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats != nil {
+		stats.Total = time.Since(t0)
+	}
+	return out, stats, nil
+}
+
+// executor memoizes operator outputs so DAG-shaped plans run each operator
+// once, and optionally runs independent children in parallel.
+type executor struct {
+	opts Options
+	mu   sync.Mutex
+	memo map[Operator]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	out  *IndexedTable
+	st   *OperatorStats
+	err  error
+}
+
+func (ex *executor) entry(op Operator) *memoEntry {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	e, ok := ex.memo[op]
+	if !ok {
+		e = &memoEntry{}
+		ex.memo[op] = e
+	}
+	return e
+}
+
+func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error) {
+	e := ex.entry(op)
+	e.once.Do(func() {
+		children := op.Children()
+		inputs := make([]*IndexedTable, len(children))
+		if ex.opts.Parallel && len(children) > 1 {
+			var wg sync.WaitGroup
+			errs := make([]error, len(children))
+			for i, c := range children {
+				wg.Add(1)
+				go func(i int, c Operator) {
+					defer wg.Done()
+					inputs[i], errs[i] = ex.resolve(c, stats)
+				}(i, c)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					e.err = err
+					return
+				}
+			}
+		} else {
+			for i, c := range children {
+				in, err := ex.resolve(c, stats)
+				if err != nil {
+					e.err = err
+					return
+				}
+				inputs[i] = in
+			}
+		}
+		ec := &ExecContext{opts: ex.opts}
+		if stats != nil {
+			if _, isBase := op.(*Base); !isBase {
+				e.st = &OperatorStats{Label: op.Label()}
+				ec.opStats = e.st
+			}
+		}
+		t0 := time.Now()
+		e.out, e.err = op.run(ec, inputs)
+		if e.st != nil && e.err == nil {
+			e.st.Time = time.Since(t0)
+			e.st.MaterializeTime = e.st.Time - e.st.IndexTime
+			e.st.OutRows = e.out.Rows()
+			e.st.OutKeys = e.out.Keys()
+			e.st.OutBytes = e.out.Idx.Bytes()
+		}
+	})
+	if e.err == nil && e.st != nil && stats != nil {
+		// Append post-order, exactly once per operator.
+		ex.mu.Lock()
+		st := *e.st
+		e.st = nil
+		stats.Ops = append(stats.Ops, st)
+		ex.mu.Unlock()
+	}
+	return e.out, e.err
+}
+
+// A Result is the client-side materialization of a query result index:
+// one row per index key, the key fields first, the payload columns after.
+// Because the result index is a prefix tree, rows arrive already sorted by
+// the key fields (paper Section 3: "the resulting index ... is already
+// sorted"); OrderBy re-sorts only when the requested order involves
+// non-key columns such as aggregates.
+type Result struct {
+	Attrs []string
+	Rows  [][]uint64
+}
+
+// Extract materializes an indexed table into a Result in key order.
+func Extract(t *IndexedTable) *Result {
+	r := &Result{Attrs: append(append([]string{}, t.Key.Attrs...), t.Cols...)}
+	comp := t.Key.Composer()
+	nk := len(t.Key.Attrs)
+	t.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+		emit := func(payload []uint64) bool {
+			row := make([]uint64, 0, nk+len(t.Cols))
+			switch nk {
+			case 0:
+			case 1:
+				row = append(row, k)
+			default:
+				row = comp.Split(k, row)
+			}
+			row = append(row, payload...)
+			r.Rows = append(r.Rows, row)
+			return true
+		}
+		if len(t.Cols) == 0 {
+			for n := 0; n < vals.Len(); n++ {
+				emit(nil)
+			}
+			return true
+		}
+		vals.Scan(emit)
+		return true
+	})
+	return r
+}
+
+// OrderBy sorts the result rows by the given column positions; negative
+// positions sort that column descending (position -(i+1) means column i
+// descending).
+func (r *Result) OrderBy(cols ...int) {
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		ra, rb := r.Rows[a], r.Rows[b]
+		for _, c := range cols {
+			if c < 0 {
+				i := -c - 1
+				if ra[i] != rb[i] {
+					return ra[i] > rb[i]
+				}
+				continue
+			}
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return false
+	})
+}
+
+// Col returns the position of the named attribute in result rows, or -1.
+func (r *Result) Col(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}

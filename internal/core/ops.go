@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+
+	"qppt/internal/duplist"
+)
+
+// An Operator is one node of a QPPT execution plan. Operators form a DAG;
+// each produces exactly one intermediate indexed table, already indexed on
+// the key its consumer requests (cooperative operators, paper Section 1).
+type Operator interface {
+	// Label names the operator instance for plans and statistics.
+	Label() string
+	// Children returns the input operators, in input-ordinal order.
+	Children() []Operator
+	// run executes the operator on the resolved inputs.
+	run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error)
+}
+
+// Base is the leaf operator: it passes a base index into the plan. Base
+// indexes are either pure secondary indexes (payload = record identifier)
+// or partially clustered indexes that carry the join/selection/grouping
+// attributes of interest in their payload (paper Section 3).
+type Base struct {
+	Table *IndexedTable
+}
+
+// Label implements Operator.
+func (b *Base) Label() string { return b.Table.Name }
+
+// Children implements Operator.
+func (b *Base) Children() []Operator { return nil }
+
+func (b *Base) run(*ExecContext, []*IndexedTable) (*IndexedTable, error) {
+	return b.Table, nil
+}
+
+// Selection is the selection/having operator (paper Section 4.1): it scans
+// the qualifying key ranges of its input index and inserts the qualifying
+// tuples into a new index on the key requested by the successive operator.
+// Conjunctions over several attributes either run against a
+// multidimensional (composed-key) input index, or use the Residual filter
+// on payload attributes.
+type Selection struct {
+	Input Operator
+	// Pred is the index-key predicate (union of ranges).
+	Pred KeyPred
+	// Residual, if non-nil, additionally filters combinations; offsets
+	// into the context must be resolved with CtxOf.
+	Residual func(ctx []uint64) bool
+	Out      OutputSpec
+}
+
+// Having is the logical HAVING operator; physically it is the same
+// operator as Selection (paper Section 4.1).
+type Having = Selection
+
+// Label implements Operator.
+func (s *Selection) Label() string { return "σ→" + s.Out.Name }
+
+// Children implements Operator.
+func (s *Selection) Children() []Operator { return []Operator{s.Input} }
+
+// CtxOf resolves an attribute of the selection's input to its context
+// offset, for building Residual filters and computed expressions.
+func (s *Selection) CtxOf(input *IndexedTable, attr string) int {
+	return mustResolve(newCtxLayout(input), Ref{Input: 0, Attr: attr})
+}
+
+func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	if w := ec.workers(); w > 1 {
+		return runPartitioned(&s.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
+			return s.runPart(ec, inputs, spec, part, w)
+		})
+	}
+	return s.runPart(ec, inputs, &s.Out, 0, 1)
+}
+
+// runPart executes the selection over key partition part of parts.
+func (s *Selection) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
+	in := inputs[0]
+	layout := newCtxLayout(in)
+	p := newPipeline(layout, ec.bufferSize())
+	p.residual = s.Residual
+	out, err := p.setSink(spec)
+	if err != nil {
+		return nil, err
+	}
+	pred := s.Pred
+	if parts > 1 {
+		lo, okL := in.Idx.Min()
+		hi, _ := in.Idx.Max()
+		if !okL {
+			p.finish()
+			return out, nil
+		}
+		pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
+		if !ok {
+			p.finish()
+			return out, nil
+		}
+		pred = intersectPred(pred, pLo, pHi)
+	}
+	comp := in.Key.Composer()
+	ctx := make([]uint64, layout.width)
+	scan := func(k uint64, vals *duplist.List) bool {
+		layout.fillKey(ctx, 0, k, comp)
+		if len(in.Cols) == 0 {
+			for n := 0; n < vals.Len(); n++ {
+				p.feed(ctx)
+			}
+			return true
+		}
+		vals.Scan(func(row []uint64) bool {
+			layout.fillRow(ctx, 0, row)
+			p.feed(ctx)
+			return true
+		})
+		return true
+	}
+	if pred == nil {
+		in.Idx.Iterate(scan)
+	} else {
+		for _, r := range pred {
+			in.Idx.Range(r.Lo, r.Hi, scan)
+		}
+	}
+	p.finish()
+	ec.noteSink(p)
+	return out, nil
+}
+
+// An Assist attaches one assisting index to a composed join (paper
+// Section 4.2): for every combination, ProbeWith's value is looked up in
+// the assisting index (through the joinbuffer); misses drop the
+// combination, hits extend it with the assisting rows.
+type Assist struct {
+	Input Operator
+	// ProbeWith locates the probe key among the earlier inputs. Input
+	// ordinals: 0 = left main, 1 = right main, 2+i = assist i.
+	ProbeWith Ref
+}
+
+// Join is the n-ary multi-way/star join operator (paper Section 4.2), and
+// with no assists the plain 2-way join. The two main inputs must be
+// indexed on the join key; they are joined with the synchronous index scan,
+// matching content nodes produce the cross product of their tuples, and
+// each assisting index then filters/extends the combinations. The output
+// is built with grouping/aggregation as a side effect when Out.Fold is set
+// (the join-group of the paper's plans).
+type Join struct {
+	Left, Right Operator
+	Assists     []Assist
+	// Residual, if non-nil, filters combinations right after the main
+	// match, before any assist probes.
+	Residual func(ctx []uint64) bool
+	Out      OutputSpec
+}
+
+// Label implements Operator.
+func (j *Join) Label() string {
+	return fmt.Sprintf("⋈%d→%s", 2+len(j.Assists), j.Out.Name)
+}
+
+// Children implements Operator.
+func (j *Join) Children() []Operator {
+	ops := []Operator{j.Left, j.Right}
+	for _, a := range j.Assists {
+		ops = append(ops, a.Input)
+	}
+	return ops
+}
+
+func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	if w := ec.workers(); w > 1 {
+		return runPartitioned(&j.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
+			return j.runPart(ec, inputs, spec, part, w)
+		})
+	}
+	return j.runPart(ec, inputs, &j.Out, 0, 1)
+}
+
+// runPart executes the join over key partition part of parts of the
+// synchronous scan.
+func (j *Join) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
+	left, right := inputs[0], inputs[1]
+	layout := newCtxLayout(inputs...)
+	p := newPipeline(layout, ec.bufferSize())
+	for i, a := range j.Assists {
+		off, err := layout.resolve(a.ProbeWith)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
+		}
+		p.addProbe(2+i, off)
+	}
+	out, err := p.setSink(spec)
+	if err != nil {
+		return nil, err
+	}
+	lComp, rComp := left.Key.Composer(), right.Key.Composer()
+	ctx := make([]uint64, layout.width)
+	feedPair := func(ctx []uint64) {
+		if j.Residual == nil || j.Residual(ctx) {
+			p.feedStage(0, ctx)
+		}
+	}
+	SyncScanPart(left.Idx, right.Idx, part, parts, func(k uint64, lv, rv *duplist.List) bool {
+		layout.fillKey(ctx, 0, k, lComp)
+		layout.fillKey(ctx, 1, k, rComp)
+		// Cross product of the matching content nodes, nested-loop style.
+		if len(left.Cols) == 0 {
+			for n := 0; n < lv.Len(); n++ {
+				crossRight(layout, ctx, right, rv, feedPair)
+			}
+			return true
+		}
+		lv.Scan(func(lrow []uint64) bool {
+			layout.fillRow(ctx, 0, lrow)
+			crossRight(layout, ctx, right, rv, feedPair)
+			return true
+		})
+		return true
+	})
+	p.finish()
+	ec.noteSink(p)
+	return out, nil
+}
+
+func crossRight(layout ctxLayout, ctx []uint64, right *IndexedTable, rv *duplist.List, feed func([]uint64)) {
+	if len(right.Cols) == 0 {
+		for n := 0; n < rv.Len(); n++ {
+			feed(ctx)
+		}
+		return
+	}
+	rv.Scan(func(rrow []uint64) bool {
+		layout.fillRow(ctx, 1, rrow)
+		feed(ctx)
+		return true
+	})
+}
+
+// SelectJoin is the composed heterogeneous operator (paper Section 4.3): a
+// selection whose qualifying tuples are not materialized into an
+// intermediate index but directly probed into the successive join. The
+// synchronous index scan is not applicable — the selection input is sorted
+// on the selection predicate, not the join key — but the prefix trees' high
+// point-read performance (batched through the selectionbuffer) makes the
+// composition profitable whenever the selection alone would materialize a
+// large intermediate result.
+type SelectJoin struct {
+	// SelInput is the selection's input (input ordinal 0).
+	SelInput Operator
+	// Pred and Residual are the selection predicate on SelInput's key
+	// and payloads.
+	Pred     KeyPred
+	Residual func(ctx []uint64) bool
+	// Main is the join's other main input (ordinal 1), probed on
+	// ProbeMainWith (an attribute of input 0).
+	Main          Operator
+	ProbeMainWith Ref
+	// MainResidual, if non-nil, filters combinations right after the
+	// main probe — i.e. as soon as Main's attributes are available but
+	// before any assisting index is touched.
+	MainResidual func(ctx []uint64) bool
+	// Assists are additional star-join inputs (ordinals 2+i).
+	Assists []Assist
+	Out     OutputSpec
+}
+
+// Label implements Operator.
+func (sj *SelectJoin) Label() string {
+	return fmt.Sprintf("σ⋈%d→%s", 2+len(sj.Assists), sj.Out.Name)
+}
+
+// Children implements Operator.
+func (sj *SelectJoin) Children() []Operator {
+	ops := []Operator{sj.SelInput, sj.Main}
+	for _, a := range sj.Assists {
+		ops = append(ops, a.Input)
+	}
+	return ops
+}
+
+func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	if w := ec.workers(); w > 1 {
+		return runPartitioned(&sj.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
+			return sj.runPart(ec, inputs, spec, part, w)
+		})
+	}
+	return sj.runPart(ec, inputs, &sj.Out, 0, 1)
+}
+
+// runPart executes the select-join over key partition part of parts of
+// the selection scan.
+func (sj *SelectJoin) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
+	sel := inputs[0]
+	layout := newCtxLayout(inputs...)
+	p := newPipeline(layout, ec.bufferSize())
+	mainOff, err := layout.resolve(sj.ProbeMainWith)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
+	}
+	p.addProbe(1, mainOff)
+	for i, a := range sj.Assists {
+		off, err := layout.resolve(a.ProbeWith)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s assist %d: %w", sj.Label(), i, err)
+		}
+		p.addProbe(2+i, off)
+	}
+	out, err := p.setSink(spec)
+	if err != nil {
+		return nil, err
+	}
+	p.residual = sj.Residual
+	p.setFilter(1, sj.MainResidual)
+	pred := sj.Pred
+	if parts > 1 {
+		lo, okL := sel.Idx.Min()
+		hi, _ := sel.Idx.Max()
+		if !okL {
+			p.finish()
+			return out, nil
+		}
+		pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
+		if !ok {
+			p.finish()
+			return out, nil
+		}
+		pred = intersectPred(pred, pLo, pHi)
+	}
+	comp := sel.Key.Composer()
+	ctx := make([]uint64, layout.width)
+	scan := func(k uint64, vals *duplist.List) bool {
+		layout.fillKey(ctx, 0, k, comp)
+		if len(sel.Cols) == 0 {
+			for n := 0; n < vals.Len(); n++ {
+				p.feed(ctx)
+			}
+			return true
+		}
+		vals.Scan(func(row []uint64) bool {
+			layout.fillRow(ctx, 0, row)
+			p.feed(ctx)
+			return true
+		})
+		return true
+	}
+	if pred == nil {
+		sel.Idx.Iterate(scan)
+	} else {
+		for _, r := range pred {
+			sel.Idx.Range(r.Lo, r.Hi, scan)
+		}
+	}
+	p.finish()
+	ec.noteSink(p)
+	return out, nil
+}
+
+// Intersect is the set intersection operator used when conjunctive
+// predicates are decomposed into separate selections over record-identifier
+// indexes (paper Section 4.1). Both inputs must be indexed on the same key
+// (typically the rid); matching keys emit the cross product of their rows,
+// exactly like a 2-way join — which is what the intersect physically is.
+type Intersect struct {
+	A, B Operator
+	Out  OutputSpec
+}
+
+// Label implements Operator.
+func (op *Intersect) Label() string { return "∩→" + op.Out.Name }
+
+// Children implements Operator.
+func (op *Intersect) Children() []Operator { return []Operator{op.A, op.B} }
+
+func (op *Intersect) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	j := Join{Out: op.Out}
+	return j.run(ec, inputs)
+}
+
+// UnionDistinct is the distinct-union set operator (paper Section 4.1).
+// Both inputs must share the key spec and payload layout; each key of
+// either input appears exactly once in the output, keeping the first row
+// encountered (rows under one key are duplicates by construction when the
+// inputs are rid-keyed selection results).
+type UnionDistinct struct {
+	A, B Operator
+	Out  OutputSpec
+}
+
+// Label implements Operator.
+func (op *UnionDistinct) Label() string { return "∪→" + op.Out.Name }
+
+// Children implements Operator.
+func (op *UnionDistinct) Children() []Operator { return []Operator{op.A, op.B} }
+
+func (op *UnionDistinct) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	a, b := inputs[0], inputs[1]
+	if len(a.Cols) != len(b.Cols) {
+		return nil, fmt.Errorf("core: union inputs have different payload widths")
+	}
+	spec := op.Out
+	if spec.Fold != nil {
+		return nil, fmt.Errorf("core: union output cannot fold")
+	}
+	spec.Fold = func(dst, src []uint64) {} // distinct: keep the first row per key
+	layout := newCtxLayout(a)
+	p := newPipeline(layout, ec.bufferSize())
+	out, err := p.setSink(&spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range []*IndexedTable{a, b} {
+		l := newCtxLayout(in)
+		comp := in.Key.Composer()
+		ctx := make([]uint64, l.width)
+		in.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+			l.fillKey(ctx, 0, k, comp)
+			if len(in.Cols) == 0 {
+				p.snk.feed(ctx, p.bufSize)
+				return true
+			}
+			vals.Scan(func(row []uint64) bool {
+				l.fillRow(ctx, 0, row)
+				p.snk.feed(ctx, p.bufSize)
+				return true
+			})
+			return true
+		})
+	}
+	p.finish()
+	ec.noteSink(p)
+	return out, nil
+}
+
+func mustResolve(l ctxLayout, r Ref) int {
+	off, err := l.resolve(r)
+	if err != nil {
+		panic(err)
+	}
+	return off
+}
+
+// CtxOffsets resolves attribute references against the context layout an
+// operator with the given inputs will use; plan builders use it to compile
+// Residual filters and Computed expressions. The inputs must be the
+// operator's input tables in ordinal order.
+func CtxOffsets(inputs []*IndexedTable, refs ...Ref) []int {
+	l := newCtxLayout(inputs...)
+	offs := make([]int, len(refs))
+	for i, r := range refs {
+		offs[i] = mustResolve(l, r)
+	}
+	return offs
+}

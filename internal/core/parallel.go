@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+
+	"qppt/internal/duplist"
+	"qppt/internal/kisstree"
+	"qppt/internal/prefixtree"
+)
+
+// Intra-operator parallelism (paper Section 7).
+//
+// The paper identifies the prefix tree's deterministic, unbalanced shape
+// as the enabler for intra-operator parallelism: because a key's position
+// is fixed, the tree splits into disjoint subtrees by key range, and no
+// rebalancing can ever move data between partitions mid-scan. Workers scan
+// disjoint key-space partitions of the operator's main input, each builds
+// a private partial output index, and the partials are merged by
+// re-inserting (the aggregation fold makes merged groups exact for
+// associative aggregates such as SUM and COUNT).
+//
+// Operators opt in through Options.Workers > 1; the default (and the
+// paper's evaluation mode) stays single-threaded.
+
+// partitionBounds splits the key space [lo, hi] into `parts` contiguous
+// chunks and returns the bounds of chunk `part` (0-based). The split is by
+// key *space*, matching the subtree partitioning of an unbalanced trie:
+// chunk boundaries align with subtree boundaries, never with data.
+func partitionBounds(lo, hi uint64, part, parts int) (uint64, uint64, bool) {
+	if lo > hi || parts <= 0 || part >= parts {
+		return 0, 0, false
+	}
+	span := hi - lo + 1 // may overflow to 0 for the full 64-bit space
+	if span == 0 {
+		// Full key space: split by the top bits instead.
+		step := ^uint64(0)/uint64(parts) + 1
+		pLo := uint64(part) * step
+		pHi := pLo + step - 1
+		if part == parts-1 {
+			pHi = ^uint64(0)
+		}
+		return pLo, pHi, true
+	}
+	step := span / uint64(parts)
+	if step == 0 {
+		// Fewer keys than workers: give everything to the first chunk.
+		if part == 0 {
+			return lo, hi, true
+		}
+		return 0, 0, false
+	}
+	pLo := lo + uint64(part)*step
+	pHi := pLo + step - 1
+	if part == parts-1 {
+		pHi = hi
+	}
+	return pLo, pHi, true
+}
+
+// intersectPred clips a selection predicate (nil = everything) to a key
+// partition, returning the ranges a worker must scan. The result is never
+// nil: a worker whose partition misses every range gets an empty predicate
+// (scan nothing), not a nil one (scan everything).
+func intersectPred(pred KeyPred, lo, hi uint64) KeyPred {
+	if pred == nil {
+		return KeyPred{{Lo: lo, Hi: hi}}
+	}
+	out := KeyPred{}
+	for _, r := range pred {
+		l, h := max(r.Lo, lo), min(r.Hi, hi)
+		if l <= h {
+			out = append(out, KeyRange{Lo: l, Hi: h})
+		}
+	}
+	return out
+}
+
+// SyncScanPart runs the synchronous index scan restricted to worker
+// `part` of `parts` key-space partitions. Partitions are disjoint and
+// cover everything, so the union over all parts visits exactly the keys
+// SyncScan would.
+func SyncScanPart(a, b Index, part, parts int, visit func(key uint64, va, vb *duplist.List) bool) bool {
+	if parts <= 1 {
+		return SyncScan(a, b, visit)
+	}
+	aLo, aOK := a.Min()
+	bLo, bOK := b.Min()
+	if !aOK || !bOK {
+		return true
+	}
+	aHi, _ := a.Max()
+	bHi, _ := b.Max()
+	lo, hi := max(aLo, bLo), min(aHi, bHi)
+	pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
+	if !ok {
+		return true
+	}
+	switch ai := a.(type) {
+	case ptIndex:
+		if bi, isPT := b.(ptIndex); isPT && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
+			return prefixtree.SyncScanRange(ai.t, bi.t, pLo, pHi, func(la, lb *prefixtree.Leaf) bool {
+				return visit(la.Key, &la.Vals, &lb.Vals)
+			})
+		}
+	case kissIndex:
+		if bi, isKiss := b.(kissIndex); isKiss {
+			return kisstree.SyncScanRange(ai.t, bi.t, pLo, pHi, func(la, lb *kisstree.Leaf) bool {
+				return visit(la.Key, &la.Vals, &lb.Vals)
+			})
+		}
+	}
+	// Mixed kinds: range-scan the smaller index's partition, probe the
+	// larger one.
+	small, large := a, b
+	swapped := false
+	if b.Keys() < a.Keys() {
+		small, large = b, a
+		swapped = true
+	}
+	return small.Range(pLo, pHi, func(key uint64, vs *duplist.List) bool {
+		vl := large.Lookup(key)
+		if vl == nil {
+			return true
+		}
+		if swapped {
+			return visit(key, vl, vs)
+		}
+		return visit(key, vs, vl)
+	})
+}
+
+// mergePartials folds per-worker partial outputs into the final output
+// index. Aggregating outputs merge exactly because the fold is applied
+// again on insert; plain outputs concatenate their duplicate rows.
+func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
+	idx := NewIndex(IndexConfig{
+		KeyBits:         spec.Key.TotalBits(),
+		PayloadWidth:    len(spec.Cols),
+		Fold:            spec.Fold,
+		ForcePrefixTree: spec.ForcePrefixTree,
+		CompressKISS:    spec.CompressKISS,
+		PrefixLen:       spec.PrefixLen,
+	})
+	keys := make([]uint64, 0, DefaultBufferSize)
+	rows := make([][]uint64, 0, DefaultBufferSize)
+	flush := func() {
+		if len(keys) == 0 {
+			return
+		}
+		if len(spec.Cols) == 0 {
+			idx.InsertBatch(keys, nil)
+		} else {
+			idx.InsertBatch(keys, rows)
+		}
+		keys, rows = keys[:0], rows[:0]
+	}
+	for _, p := range partials {
+		p.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+			if len(spec.Cols) == 0 {
+				for n := 0; n < vals.Len(); n++ {
+					keys = append(keys, k)
+					if len(keys) == cap(keys) {
+						flush()
+					}
+				}
+				return true
+			}
+			vals.Scan(func(row []uint64) bool {
+				keys = append(keys, k)
+				rows = append(rows, row)
+				if len(keys) == cap(keys) {
+					flush()
+				}
+				return true
+			})
+			return true
+		})
+		flush() // rows alias partial memory; flush before moving on
+	}
+	flush()
+	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx)
+}
+
+// runPartitioned executes `parts` workers, each producing a partial output
+// through runPart(part, spec), and merges the partials.
+func runPartitioned(spec *OutputSpec, parts int, runPart func(part int, spec *OutputSpec) (*IndexedTable, error)) (*IndexedTable, error) {
+	partials := make([]*IndexedTable, parts)
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			specCopy := *spec // private sink per worker
+			partials[w], errs[w] = runPart(w, &specCopy)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePartials(spec, partials), nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qppt/internal/duplist"
+)
+
+func TestPartitionBounds(t *testing.T) {
+	// Partitions must be disjoint and cover [lo, hi] exactly.
+	f := func(lo, hi uint64, parts8 uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		parts := int(parts8%7) + 1
+		var next uint64 = lo
+		covered := false
+		for p := 0; p < parts; p++ {
+			pLo, pHi, ok := partitionBounds(lo, hi, p, parts)
+			if !ok {
+				continue
+			}
+			if pLo != next {
+				return false // gap or overlap
+			}
+			if pHi < pLo {
+				return false
+			}
+			if pHi == hi {
+				covered = true
+			}
+			next = pHi + 1
+		}
+		return covered
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Full key space does not overflow.
+	seen := uint64(0)
+	for p := 0; p < 4; p++ {
+		lo, hi, ok := partitionBounds(0, ^uint64(0), p, 4)
+		if !ok {
+			t.Fatalf("full-space partition %d missing", p)
+		}
+		seen += hi - lo + 1
+	}
+	if seen != 0 { // 2^64 wraps to 0
+		t.Fatalf("full-space partitions cover %d keys too few/many", seen)
+	}
+}
+
+func TestIntersectPred(t *testing.T) {
+	pred := KeyPred{{Lo: 10, Hi: 20}, {Lo: 30, Hi: 40}}
+	got := intersectPred(pred, 15, 35)
+	want := KeyPred{{Lo: 15, Hi: 20}, {Lo: 30, Hi: 35}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	if got := intersectPred(pred, 21, 29); got == nil || len(got) != 0 {
+		t.Fatalf("disjoint intersect = %#v, want empty non-nil", got)
+	}
+	if got := intersectPred(nil, 5, 9); !reflect.DeepEqual(got, KeyPred{{Lo: 5, Hi: 9}}) {
+		t.Fatalf("nil pred intersect = %v", got)
+	}
+}
+
+// TestSyncScanPartCoversSyncScan: the union of all partitions must visit
+// exactly the pairs the unpartitioned scan visits, for all index kinds.
+func TestSyncScanPartCoversSyncScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	configs := []struct {
+		name string
+		a, b IndexConfig
+	}{
+		{"kiss-kiss", IndexConfig{KeyBits: 20}, IndexConfig{KeyBits: 20}},
+		{"pt-pt", IndexConfig{KeyBits: 40}, IndexConfig{KeyBits: 40}},
+		{"mixed", IndexConfig{KeyBits: 20}, IndexConfig{KeyBits: 20, ForcePrefixTree: true}},
+	}
+	for _, cfg := range configs {
+		a, b := NewIndex(cfg.a), NewIndex(cfg.b)
+		for i := 0; i < 20000; i++ {
+			a.Insert(uint64(rng.Intn(50000)), nil)
+			b.Insert(uint64(rng.Intn(50000)), nil)
+		}
+		want := map[uint64]bool{}
+		SyncScan(a, b, func(k uint64, _, _ *duplist.List) bool {
+			want[k] = true
+			return true
+		})
+		for _, parts := range []int{1, 2, 3, 7} {
+			got := map[uint64]bool{}
+			for p := 0; p < parts; p++ {
+				SyncScanPart(a, b, p, parts, func(k uint64, _, _ *duplist.List) bool {
+					if got[k] {
+						t.Fatalf("%s parts=%d: key %d visited twice", cfg.name, parts, k)
+					}
+					got[k] = true
+					return true
+				})
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s parts=%d: %d keys, want %d", cfg.name, parts, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestWorkersPreserveResults: intra-operator parallelism must never change
+// operator output.
+func TestWorkersPreserveResults(t *testing.T) {
+	f := buildFixture(77)
+	ref, _, err := starPlan(f, 4).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got, stats, err := starPlan(f, 4).Run(Options{Workers: w, CollectStats: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resultAsMap(t, Extract(got)), resultAsMap(t, Extract(ref))) {
+			t.Fatalf("workers=%d changed the result", w)
+		}
+		if stats.Ops[len(stats.Ops)-1].TuplesIndexed == 0 {
+			t.Fatalf("workers=%d: no stats accumulated", w)
+		}
+	}
+}
+
+func TestWorkersWithSelectJoin(t *testing.T) {
+	f := buildFixture(78)
+	sj := func() *SelectJoin {
+		return &SelectJoin{
+			SelInput:      &Base{Table: f.prodByBrand},
+			Pred:          Between(0, nBrand-1),
+			Main:          &Base{Table: f.factByProd},
+			ProbeMainWith: Ref{Input: 0, Attr: "prodkey"},
+			Out: OutputSpec{
+				Name:     "Γ",
+				Key:      SimpleKey("region?", 16), // keyed on custkey actually
+				KeyRefs:  []Ref{{Input: 1, Attr: "custkey"}},
+				Cols:     []string{"sum_qty"},
+				ColExprs: []RowExpr{Attr(1, "qty")},
+				Fold:     FoldSum(0),
+			},
+		}
+	}
+	ref, _, err := (&Plan{Root: sj()}).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := (&Plan{Root: sj()}).Run(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultAsMap(t, Extract(ref)), resultAsMap(t, Extract(par))) {
+		t.Fatal("workers changed select-join result")
+	}
+}
+
+func TestWorkersOnNonAggregatingSelection(t *testing.T) {
+	// Plain (non-folding) outputs must carry the same row multiset.
+	f := buildFixture(79)
+	sel := func() *Selection {
+		return &Selection{
+			Input: &Base{Table: f.factByProd},
+			Pred:  Between(0, nProd/2),
+			Out: OutputSpec{
+				Name:     "σ",
+				Key:      SimpleKey("custkey", 16),
+				KeyRefs:  []Ref{{Input: 0, Attr: "custkey"}},
+				Cols:     []string{"qty"},
+				ColExprs: []RowExpr{Attr(0, "qty")},
+			},
+		}
+	}
+	ref, _, err := (&Plan{Root: sel()}).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := (&Plan{Root: sel()}).Run(Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rows() != par.Rows() || ref.Keys() != par.Keys() {
+		t.Fatalf("rows/keys: %d/%d vs %d/%d", ref.Rows(), ref.Keys(), par.Rows(), par.Keys())
+	}
+	count := func(t2 *IndexedTable) map[[2]uint64]int {
+		m := map[[2]uint64]int{}
+		t2.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+			vals.Scan(func(row []uint64) bool {
+				m[[2]uint64{k, row[0]}]++
+				return true
+			})
+			return true
+		})
+		return m
+	}
+	if !reflect.DeepEqual(count(ref), count(par)) {
+		t.Fatal("row multisets differ")
+	}
+}

@@ -1,0 +1,61 @@
+package duplist
+
+// LinkedList is the naive per-row linked-list duplicate store that the paper
+// argues against in Section 2.4 ("simply storing duplicates as linked lists
+// usually results in random memory accesses"). It exists purely as the
+// baseline for the duplicate-handling ablation benchmark: every row is a
+// separate heap node, so a duplicate scan chases one pointer per row.
+type LinkedList struct {
+	head, tail *linkedNode
+	n          int
+	width      int
+}
+
+type linkedNode struct {
+	next *linkedNode
+	row  []uint64
+}
+
+// NewLinked returns an empty linked-list duplicate store for rows of the
+// given width in uint64 words.
+func NewLinked(width int) *LinkedList {
+	if width < 0 {
+		panic("duplist: negative row width")
+	}
+	return &LinkedList{width: width}
+}
+
+// Len reports the number of rows stored.
+func (l *LinkedList) Len() int { return l.n }
+
+// Append adds a copy of row to the list.
+func (l *LinkedList) Append(row []uint64) {
+	if len(row) != l.width {
+		panic("duplist: row width mismatch")
+	}
+	nd := &linkedNode{row: make([]uint64, l.width)}
+	copy(nd.row, row)
+	if l.tail == nil {
+		l.head = nd
+	} else {
+		l.tail.next = nd
+	}
+	l.tail = nd
+	l.n++
+}
+
+// Scan calls visit for every row in insertion order, stopping early if
+// visit returns false. It reports whether the scan ran to completion.
+func (l *LinkedList) Scan(visit func(row []uint64) bool) bool {
+	for nd := l.head; nd != nil; nd = nd.next {
+		if !visit(nd.row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes estimates the heap footprint in bytes.
+func (l *LinkedList) Bytes() int {
+	return l.n * (l.width*wordBytes + 40) // row data + node header + slice header
+}

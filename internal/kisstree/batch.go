@@ -1,0 +1,105 @@
+package kisstree
+
+import "math/bits"
+
+// onesBelow counts occupied slots below slot in a compressed node's bitmap,
+// i.e. the dense-array position of slot.
+func onesBelow(bm uint64, slot int) int {
+	return bits.OnesCount64(bm & (uint64(1)<<slot - 1))
+}
+
+// Batch processing for the KISS-Tree (paper Sections 2.3 and 2.5, the
+// "KISS Batched" series of Figure 3).
+//
+// A KISS lookup is two dependent memory accesses (root bucket, then node
+// slot) plus the content access. Processing a batch level-by-level turns
+// each level into a tight loop of *independent* loads — all root accesses,
+// then all node accesses, then all content accesses — so the memory system
+// overlaps the cache misses across jobs instead of serializing them per
+// key (the software-pipelining effect the paper gets from explicit
+// prefetch instructions).
+
+// LookupBatch resolves all keys and calls visit(i, leaf) for each, where
+// leaf is nil for absent keys.
+func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
+	if len(keys) == 0 {
+		return
+	}
+	ptrs := make([]uint32, len(keys))
+	// Level 1: all root accesses back to back.
+	for i, key := range keys {
+		ptrs[i] = t.rootGet(checkKey(key) >> leafBits)
+	}
+	// Level 2: all node-slot accesses back to back, reusing ptrs for the
+	// resulting compact leaf pointers.
+	if t.cfg.Compress {
+		for i, key := range keys {
+			ptr := ptrs[i]
+			if ptr == 0 {
+				continue
+			}
+			cn := &t.cnodes[ptr-1]
+			slot := int(uint32(key) & slotMask)
+			if cn.bitmap&(uint64(1)<<slot) == 0 {
+				ptrs[i] = 0
+				continue
+			}
+			ptrs[i] = cn.entries[onesBelow(cn.bitmap, slot)]
+		}
+	} else {
+		for i, key := range keys {
+			if ptr := ptrs[i]; ptr != 0 {
+				ptrs[i] = t.nodes[ptr-1].slots[uint32(key)&slotMask]
+			}
+		}
+	}
+	// Level 3: content accesses, independent across jobs.
+	for i, lp := range ptrs {
+		if lp == 0 {
+			visit(i, nil)
+		} else {
+			visit(i, t.leaves.at(lp-1))
+		}
+	}
+}
+
+// lookupInNode resolves the second level and content access for one key,
+// given its root pointer. Shared by the synchronous index scan.
+func (t *Tree) lookupInNode(ptr uint32, k uint32) *Leaf {
+	slot := int(k & slotMask)
+	if t.cfg.Compress {
+		cn := &t.cnodes[ptr-1]
+		bit := uint64(1) << slot
+		if cn.bitmap&bit == 0 {
+			return nil
+		}
+		return t.leaves.at(cn.entries[onesBelow(cn.bitmap, slot)] - 1)
+	}
+	lp := t.nodes[ptr-1].slots[slot]
+	if lp == 0 {
+		return nil
+	}
+	return t.leaves.at(lp - 1)
+}
+
+// InsertBatch inserts rows[i] under keys[i] for all i. rows may be nil for
+// width-0 trees; otherwise len(rows) must equal len(keys).
+func (t *Tree) InsertBatch(keys []uint64, rows [][]uint64) {
+	if rows != nil && len(rows) != len(keys) {
+		panic("kisstree: InsertBatch length mismatch")
+	}
+	// Pass 1 resolves/creates all content nodes level-synchronously; pass
+	// 2 appends the payload rows. Buffered intermediate-index inserts in
+	// QPPT operators run through here.
+	leaves := make([]*Leaf, len(keys))
+	for i, key := range keys {
+		leaves[i] = t.leafFor(checkKey(key))
+	}
+	for i, lf := range leaves {
+		var row []uint64
+		if rows != nil {
+			row = rows[i]
+		}
+		t.addRow(lf, row)
+	}
+}

@@ -1,0 +1,107 @@
+package prefixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLookupBatchMatchesScalar(t *testing.T) {
+	tr := MustNew(Config{PayloadWidth: 1})
+	rng := rand.New(rand.NewSource(9))
+	var present []uint64
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 1_000_000
+		tr.Insert(k, []uint64{k * 2})
+		present = append(present, k)
+	}
+	batch := make([]uint64, 0, 4096)
+	batch = append(batch, present[:2048]...)
+	for i := 0; i < 2048; i++ {
+		batch = append(batch, rng.Uint64()) // mostly absent keys
+	}
+	tr.LookupBatch(batch, func(i int, lf *Leaf) {
+		scalar := tr.Lookup(batch[i])
+		if (lf == nil) != (scalar == nil) {
+			t.Fatalf("batch[%d]=%d: batch found=%v scalar found=%v", i, batch[i], lf != nil, scalar != nil)
+		}
+		if lf != nil && lf != scalar {
+			t.Fatalf("batch[%d]: different leaf than scalar lookup", i)
+		}
+	})
+}
+
+func TestLookupBatchEmpty(t *testing.T) {
+	tr := MustNew(Config{})
+	tr.LookupBatch(nil, func(int, *Leaf) { t.Error("visit called") })
+}
+
+func TestInsertBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	keys := make([]uint64, 10000)
+	rows := make([][]uint64, len(keys))
+	for i := range keys {
+		keys[i] = rng.Uint64() % 50_000 // plenty of duplicates and collisions
+		rows[i] = []uint64{uint64(i)}
+	}
+	scalar := MustNew(Config{PayloadWidth: 1})
+	batched := MustNew(Config{PayloadWidth: 1})
+	for i, k := range keys {
+		scalar.Insert(k, rows[i])
+	}
+	for off := 0; off < len(keys); off += 512 {
+		end := min(off+512, len(keys))
+		batched.InsertBatch(keys[off:end], rows[off:end])
+	}
+	if scalar.Keys() != batched.Keys() || scalar.Rows() != batched.Rows() {
+		t.Fatalf("keys/rows: scalar %d/%d batched %d/%d",
+			scalar.Keys(), scalar.Rows(), batched.Keys(), batched.Rows())
+	}
+	scalar.Iterate(func(lf *Leaf) bool {
+		blf := batched.Lookup(lf.Key)
+		if blf == nil {
+			t.Fatalf("key %d missing from batched tree", lf.Key)
+		}
+		if blf.Vals.Len() != lf.Vals.Len() {
+			t.Fatalf("key %d row count differs: %d vs %d", lf.Key, lf.Vals.Len(), blf.Vals.Len())
+		}
+		want := lf.Vals.Rows()
+		got := blf.Vals.Rows()
+		for i := range want {
+			if want[i][0] != got[i][0] {
+				t.Fatalf("key %d row %d differs: %v vs %v", lf.Key, i, want[i], got[i])
+			}
+		}
+		return true
+	})
+}
+
+func TestInsertBatchWithFold(t *testing.T) {
+	tr := MustNew(Config{
+		PayloadWidth: 1,
+		Fold:         func(dst, src []uint64) { dst[0] += src[0] },
+	})
+	keys := make([]uint64, 1000)
+	rows := make([][]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i % 7)
+		rows[i] = []uint64{1}
+	}
+	tr.InsertBatch(keys, rows)
+	if tr.Keys() != 7 {
+		t.Fatalf("Keys = %d, want 7", tr.Keys())
+	}
+	var total uint64
+	tr.Iterate(func(lf *Leaf) bool { total += lf.Vals.First()[0]; return true })
+	if total != 1000 {
+		t.Fatalf("total count = %d, want 1000", total)
+	}
+}
+
+func TestInsertBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	MustNew(Config{PayloadWidth: 1}).InsertBatch([]uint64{1, 2}, [][]uint64{{1}})
+}

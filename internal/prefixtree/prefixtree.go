@@ -1,0 +1,433 @@
+// Package prefixtree implements the generalized prefix tree of Böhm et al.
+// as deployed by QPPT (paper Section 2.1, Figure 2(a)).
+//
+// The tree is order-preserving and — unlike a B+-Tree — unbalanced: it
+// splits the big-endian binary representation of a key into fragments of an
+// equal prefix length k′ and uses each fragment to pick one of the 2^k′
+// buckets of the node at that level, so every key has a fixed position in
+// the tree. Thanks to the *dynamic expansion* optimization, a key's content
+// node is stored at the shallowest level at which its fragment path is
+// unique; inner nodes are only created on demand when two keys collide.
+// Because of that, the key cannot always be reconstructed from the path, so
+// content nodes store the complete key for the final comparison.
+//
+// Duplicates — multiple payload rows per key — are stored in sequential
+// doubling segments (package duplist, paper Section 2.4), and batched
+// lookups/inserts process many keys level-by-level to overlap their memory
+// accesses (paper Section 2.3, Algorithm 1).
+//
+// The tree is a single-writer structure: concurrent readers are safe only
+// while no writer is active. QPPT's evaluation is single-threaded by
+// design, matching the paper.
+package prefixtree
+
+import (
+	"fmt"
+
+	"qppt/internal/duplist"
+)
+
+// Config parameterizes a Tree.
+type Config struct {
+	// PrefixLen is k′, the number of key bits consumed per tree level.
+	// Must be in [1, 16]; the paper's default (and the best standard
+	// trade-off, Section 2.1) is 4.
+	PrefixLen uint
+	// KeyBits is the key width in bits, in [1, 64]. Index keys narrower
+	// than 64 bits make the tree shallower. Default 64.
+	KeyBits uint
+	// PayloadWidth is the number of uint64 attribute values stored per
+	// row. Width 0 builds a pure existence index.
+	PayloadWidth int
+	// Fold, if non-nil, turns the tree into an aggregating index:
+	// inserting a row under an existing key folds the new row into the
+	// stored one instead of appending a duplicate (grouping/aggregation
+	// as a side effect of index construction, paper Section 3).
+	Fold func(dst, src []uint64)
+}
+
+func (c *Config) normalize() error {
+	if c.PrefixLen == 0 {
+		c.PrefixLen = 4
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 64
+	}
+	if c.PrefixLen > 16 {
+		return fmt.Errorf("prefixtree: PrefixLen %d out of range [1,16]", c.PrefixLen)
+	}
+	if c.KeyBits > 64 {
+		return fmt.Errorf("prefixtree: KeyBits %d out of range [1,64]", c.KeyBits)
+	}
+	if c.PayloadWidth < 0 {
+		return fmt.Errorf("prefixtree: negative PayloadWidth")
+	}
+	return nil
+}
+
+// A Tree is a generalized prefix tree mapping uint64 keys to lists of
+// fixed-width payload rows.
+type Tree struct {
+	cfg    Config
+	root   *node
+	levels int    // maximum depth in nodes
+	fanout int    // 2^k′
+	mask   uint64 // fanout-1
+	keys   int    // distinct keys
+	rows   int    // total payload rows
+	nodes  int    // inner node count, for memory accounting
+}
+
+// A node holds 2^k′ buckets. Each bucket is empty, points to a child node,
+// or points to a content leaf (dynamic expansion stores leaves as high up
+// as possible).
+type node struct {
+	slots []slot
+}
+
+// slot is one bucket. At most one of child and leaf is non-nil.
+type slot struct {
+	child *node
+	leaf  *Leaf
+}
+
+// A Leaf is a content node: the full key (required because dynamic
+// expansion loses path information) plus all payload rows for that key.
+// The row list is embedded by value to avoid a pointer chase per access.
+type Leaf struct {
+	Key  uint64
+	Vals duplist.List
+}
+
+// New creates an empty tree. It returns an error for out-of-range
+// configuration values.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:    cfg,
+		fanout: 1 << cfg.PrefixLen,
+		mask:   uint64(1)<<cfg.PrefixLen - 1,
+		levels: int((cfg.KeyBits + cfg.PrefixLen - 1) / cfg.PrefixLen),
+	}
+	t.root = t.newNode()
+	return t, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) newNode() *node {
+	t.nodes++
+	return &node{slots: make([]slot, t.fanout)}
+}
+
+// frag extracts the key fragment for the given level (0 = root). Fragments
+// are taken from the most significant bits first so bucket order equals key
+// order, which makes the tree order-preserving.
+func (t *Tree) frag(key uint64, level int) uint64 {
+	shift := int(t.cfg.KeyBits) - (level+1)*int(t.cfg.PrefixLen)
+	if shift <= 0 {
+		// Deepest level: the remaining low-order bits.
+		return key & (t.mask >> uint(-shift))
+	}
+	return (key >> uint(shift)) & t.mask
+}
+
+// Keys reports the number of distinct keys in the tree.
+func (t *Tree) Keys() int { return t.keys }
+
+// Rows reports the total number of payload rows in the tree.
+func (t *Tree) Rows() int { return t.rows }
+
+// PayloadWidth reports the payload row width in uint64 words.
+func (t *Tree) PayloadWidth() int { return t.cfg.PayloadWidth }
+
+// KeyBits reports the configured key width in bits.
+func (t *Tree) KeyBits() uint { return t.cfg.KeyBits }
+
+// PrefixLen reports k′.
+func (t *Tree) PrefixLen() uint { return t.cfg.PrefixLen }
+
+// checkKey panics if key has bits outside the configured key width; such a
+// key can never be stored or found and always indicates a caller bug.
+func (t *Tree) checkKey(key uint64) {
+	if t.cfg.KeyBits < 64 && key>>t.cfg.KeyBits != 0 {
+		panic(fmt.Sprintf("prefixtree: key %#x exceeds %d key bits", key, t.cfg.KeyBits))
+	}
+}
+
+// Insert adds a payload row under key. With a Fold configured, the row is
+// aggregated into the existing row for the key instead.
+func (t *Tree) Insert(key uint64, row []uint64) {
+	t.checkKey(key)
+	lf := t.leafFor(key)
+	t.addRow(lf, row)
+}
+
+// addRow appends or folds row into lf, maintaining the row count.
+func (t *Tree) addRow(lf *Leaf, row []uint64) {
+	if t.cfg.Fold != nil {
+		was := lf.Vals.Len()
+		lf.Vals.Aggregate(row, t.cfg.Fold)
+		t.rows += lf.Vals.Len() - was
+		return
+	}
+	lf.Vals.Append(row)
+	t.rows++
+}
+
+// leafFor finds or creates the content node for key, applying dynamic
+// expansion on collision.
+func (t *Tree) leafFor(key uint64) *Leaf {
+	n := t.root
+	for level := 0; ; level++ {
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
+			continue
+		}
+		if s.leaf == nil {
+			lf := &Leaf{Key: key, Vals: duplist.Make(t.cfg.PayloadWidth)}
+			s.leaf = lf
+			t.keys++
+			return lf
+		}
+		if s.leaf.Key == key {
+			return s.leaf
+		}
+		// Collision: expand by one level, pushing the resident leaf down.
+		// The loop retries the same key at the new child; keys differ, so
+		// their fragment paths split within t.levels levels and the loop
+		// terminates.
+		child := t.newNode()
+		child.slots[t.frag(s.leaf.Key, level+1)].leaf = s.leaf
+		s.leaf = nil
+		s.child = child
+		n = child
+	}
+}
+
+// Lookup returns the leaf for key, or nil if the key is absent.
+func (t *Tree) Lookup(key uint64) *Leaf {
+	t.checkKey(key)
+	n := t.root
+	for level := 0; ; level++ {
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
+			continue
+		}
+		if s.leaf != nil && s.leaf.Key == key {
+			return s.leaf
+		}
+		return nil
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) bool { return t.Lookup(key) != nil }
+
+// Delete removes key and all its rows, reporting whether it was present.
+// Emptied inner nodes along the path are unlinked so iteration stays
+// proportional to live content.
+func (t *Tree) Delete(key uint64) bool {
+	t.checkKey(key)
+	var path [65]*node
+	n := t.root
+	level := 0
+	for {
+		path[level] = n
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
+			level++
+			continue
+		}
+		if s.leaf == nil || s.leaf.Key != key {
+			return false
+		}
+		t.keys--
+		t.rows -= s.leaf.Vals.Len()
+		s.leaf = nil
+		break
+	}
+	// Unlink now-empty nodes bottom-up (the root always stays).
+	for l := level; l > 0; l-- {
+		if !path[l].empty() {
+			break
+		}
+		parent := path[l-1]
+		parent.slots[t.frag(key, l-1)] = slot{}
+		t.nodes--
+	}
+	return true
+}
+
+func (n *node) empty() bool {
+	for i := range n.slots {
+		if n.slots[i].child != nil || n.slots[i].leaf != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Iterate visits every leaf in ascending key order. It stops early if visit
+// returns false and reports whether the scan ran to completion.
+func (t *Tree) Iterate(visit func(lf *Leaf) bool) bool {
+	return iterate(t.root, visit)
+}
+
+func iterate(n *node, visit func(lf *Leaf) bool) bool {
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.leaf != nil {
+			if !visit(s.leaf) {
+				return false
+			}
+		} else if s.child != nil {
+			if !iterate(s.child, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Range visits, in ascending key order, every leaf with lo <= key <= hi.
+// It stops early if visit returns false and reports whether the scan ran to
+// completion.
+func (t *Tree) Range(lo, hi uint64, visit func(lf *Leaf) bool) bool {
+	t.checkKey(lo)
+	t.checkKey(hi)
+	if lo > hi {
+		return true
+	}
+	return t.rangeNode(t.root, 0, lo, hi, visit)
+}
+
+func (t *Tree) rangeNode(n *node, level int, lo, hi uint64, visit func(lf *Leaf) bool) bool {
+	// Restrict the fragment window at this level using the bounds' paths.
+	// Only the first and last qualifying buckets need recursive bound
+	// checks; buckets strictly between them are fully inside the range.
+	loFrag := t.frag(lo, level)
+	hiFrag := t.frag(hi, level)
+	for f := loFrag; f <= hiFrag; f++ {
+		s := &n.slots[f]
+		if s.leaf != nil {
+			if s.leaf.Key >= lo && s.leaf.Key <= hi {
+				if !visit(s.leaf) {
+					return false
+				}
+			}
+			continue
+		}
+		if s.child == nil {
+			continue
+		}
+		switch {
+		case f == loFrag && f == hiFrag:
+			if !t.rangeNode(s.child, level+1, lo, hi, visit) {
+				return false
+			}
+		case f == loFrag:
+			if !t.rangeNode(s.child, level+1, lo, t.keyMax(), visit) {
+				return false
+			}
+		case f == hiFrag:
+			if !t.rangeNode(s.child, level+1, 0, hi, visit) {
+				return false
+			}
+		default:
+			if !iterate(s.child, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// keyMax returns the largest representable key for the configured width.
+// Once the scan has descended past the low (resp. high) edge of a range,
+// the bound on the other side no longer constrains the subtree, so it is
+// widened to the full key space.
+func (t *Tree) keyMax() uint64 {
+	if t.cfg.KeyBits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<t.cfg.KeyBits - 1
+}
+
+// Min returns the smallest key in the tree; ok is false if the tree is
+// empty.
+func (t *Tree) Min() (key uint64, ok bool) {
+	t.Iterate(func(lf *Leaf) bool {
+		key, ok = lf.Key, true
+		return false
+	})
+	return key, ok
+}
+
+// Max returns the largest key in the tree; ok is false if the tree is
+// empty.
+func (t *Tree) Max() (key uint64, ok bool) {
+	n := t.root
+	for {
+		var last *slot
+		for i := t.fanout - 1; i >= 0; i-- {
+			s := &n.slots[i]
+			if s.child != nil || s.leaf != nil {
+				last = s
+				break
+			}
+		}
+		if last == nil {
+			return 0, false
+		}
+		if last.leaf != nil {
+			return last.leaf.Key, true
+		}
+		n = last.child
+	}
+}
+
+// Bytes estimates the heap footprint of the tree in bytes: inner nodes plus
+// leaf headers plus payload segments. Used by the k′ memory ablation.
+func (t *Tree) Bytes() int {
+	b := t.nodes * (t.fanout*16 + 24) // slots (two pointers each) + node header
+	t.Iterate(func(lf *Leaf) bool {
+		b += 32 + lf.Vals.Bytes() // leaf header + payload
+		return true
+	})
+	return b
+}
+
+// Nodes reports the number of inner nodes, for memory accounting tests.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// MaxDepth returns the deepest leaf level currently present (root = level
+// 0). A freshly filled dense tree of n keys has depth ~ log2(n)/k′ thanks
+// to dynamic expansion.
+func (t *Tree) MaxDepth() int {
+	return maxDepth(t.root, 0)
+}
+
+func maxDepth(n *node, level int) int {
+	d := level
+	for i := range n.slots {
+		if c := n.slots[i].child; c != nil {
+			if cd := maxDepth(c, level+1); cd > d {
+				d = cd
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,125 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A SelectStmt is the parsed form of one SSB-dialect query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Tables  []string
+	Where   []Cond // conjunction
+	GroupBy []Column
+	OrderBy []OrderItem
+}
+
+// A SelectItem is one output expression: either a SUM aggregate over a
+// fact expression or a plain (grouped) column.
+type SelectItem struct {
+	Agg   Expr   // non-nil for sum(...)
+	Col   Column // valid when Agg == nil
+	Alias string
+}
+
+// A Column is a possibly table-qualified column reference.
+type Column struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (c Column) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// An Expr is a scalar expression over columns: a column, a literal, or a
+// binary +,-,* over two expressions.
+type Expr interface{ exprString() string }
+
+// ColExpr references a column.
+type ColExpr struct{ Col Column }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Val uint64 }
+
+// StrExpr is a string literal.
+type StrExpr struct{ Val string }
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+}
+
+func (e ColExpr) exprString() string { return e.Col.String() }
+func (e NumExpr) exprString() string { return fmt.Sprintf("%d", e.Val) }
+func (e StrExpr) exprString() string { return "'" + e.Val + "'" }
+func (e BinExpr) exprString() string {
+	return "(" + e.L.exprString() + string(e.Op) + e.R.exprString() + ")"
+}
+
+// CondKind enumerates WHERE conjunct kinds after normalization.
+type CondKind int
+
+const (
+	// CondJoin is an equijoin between columns of two tables.
+	CondJoin CondKind = iota
+	// CondCmp is a comparison of a column against a literal
+	// (=, <, <=, >, >=).
+	CondCmp
+	// CondBetween is col BETWEEN lo AND hi.
+	CondBetween
+	// CondIn is col IN (literals) — also the normal form of OR chains
+	// over one column.
+	CondIn
+)
+
+// A Cond is one normalized WHERE conjunct.
+type Cond struct {
+	Kind CondKind
+	// Join columns for CondJoin.
+	Left, Right Column
+	// Col and literals for the restriction kinds.
+	Col    Column
+	Op     string // for CondCmp
+	Num    uint64
+	Str    string
+	IsStr  bool
+	LoNum  uint64 // CondBetween numeric bounds
+	HiNum  uint64
+	LoStr  string // CondBetween string bounds
+	HiStr  string
+	Set    []uint64 // CondIn numeric values
+	StrSet []string // CondIn string values
+}
+
+// An OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	// Expr names either a grouped column or an aggregate alias/implied
+	// aggregate name.
+	Col  Column
+	Desc bool
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("select ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Agg != nil {
+			sb.WriteString("sum(" + it.Agg.exprString() + ")")
+		} else {
+			sb.WriteString(it.Col.String())
+		}
+		if it.Alias != "" {
+			sb.WriteString(" as " + it.Alias)
+		}
+	}
+	sb.WriteString(" from " + strings.Join(s.Tables, ", "))
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+// Package sql implements a SQL front end for the SSB dialect the paper
+// queries are written in (Figure 5, Listings 1 and 2): SELECT with SUM
+// aggregates and arithmetic over fact columns, multi-table FROM, WHERE
+// with equijoins and point/range/IN/OR restrictions, GROUP BY and
+// ORDER BY with ASC/DESC.
+//
+// The planner compiles statements into QPPT execution plans (package
+// core): dimension restrictions become selection or composed select-join
+// operators over catalog base indexes, the fact table becomes the main
+// index of a multi-way/star join, and the GROUP BY attributes become the
+// composed key of the aggregating output index.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * - +
+	tokOp     // = < > <= >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. Identifiers may be backquoted (the paper writes
+// `date` because DATE is a keyword in most systems); keywords are
+// case-insensitive and reported as lowercase identifiers.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '`':
+			if err := l.lexQuotedIdent(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case c == '<' || c == '>':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				l.pos++
+			}
+			l.emit(tokOp, l.src[start:l.pos], start)
+		case c == '=':
+			l.emit(tokOp, "=", l.pos)
+			l.pos++
+		case strings.ContainsRune("(),.*-+;", rune(c)):
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped ''
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++
+	end := strings.IndexByte(l.src[l.pos:], '`')
+	if end < 0 {
+		return fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+	}
+	l.emit(tokIdent, strings.ToLower(l.src[l.pos:l.pos+end]), start)
+	l.pos += end + 1
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '#' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.emit(tokIdent, strings.ToLower(l.src[start:l.pos]), start)
+}

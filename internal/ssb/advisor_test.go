@@ -1,0 +1,67 @@
+package ssb
+
+import (
+	"testing"
+
+	"qppt/internal/sql"
+)
+
+// TestAdviseSSBWorkload: the index advisor over the full 13-query SSB
+// workload must recommend exactly the indexes the plans then use, with no
+// duplicates, and planning after Advise must create no further indexes.
+func TestAdviseSSBWorkload(t *testing.T) {
+	ds := testDataset(t)
+	planner := sql.NewPlanner(ds.Cat)
+	workload := make([]string, 0, len(QueryIDs))
+	for _, qid := range QueryIDs {
+		workload = append(workload, SQLTexts[qid])
+	}
+	recs, err := planner.Advise(workload, sql.Options{UseSelectJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	seen := map[string]bool{}
+	factIdx := 0
+	for _, r := range recs {
+		name := r.Def.IndexName(r.Table)
+		if seen[name] {
+			t.Errorf("duplicate recommendation %s", name)
+		}
+		seen[name] = true
+		if len(r.Queries) == 0 {
+			t.Errorf("%s recommended for no query", name)
+		}
+		if r.Table == "lineorder" {
+			factIdx++
+		}
+		// The recommendation must already be provisioned (Advise warms).
+		if ds.Cat.Table(r.Table).Index(name) == nil {
+			t.Errorf("%s not built by Advise", name)
+		}
+	}
+	if factIdx < 3 {
+		t.Errorf("only %d lineorder indexes recommended; the workload needs several entry points", factIdx)
+	}
+	// Re-advising is idempotent.
+	again, err := planner.Advise(workload, sql.Options{UseSelectJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(recs) {
+		t.Errorf("re-advise returned %d recs, want %d", len(again), len(recs))
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	ds := testDataset(t)
+	planner := sql.NewPlanner(ds.Cat)
+	if _, err := planner.Advise([]string{"not sql"}, sql.Options{}); err == nil {
+		t.Error("bad statement accepted")
+	}
+	if _, err := planner.Advise([]string{"select sum(x) from nosuch"}, sql.Options{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package ssb implements the Star Schema Benchmark (O'Neil et al.) as used
+// by the paper's evaluation (Section 5): a deterministic data generator
+// with the standard star schema — the lineorder fact table surrounded by
+// the date, customer, supplier and part dimensions — and all thirteen
+// benchmark queries (1.1–4.3) implemented three times: as QPPT plans, on
+// the column-at-a-time baseline engine, and on the vector-at-a-time
+// baseline engine. Cross-engine result equality is the strongest
+// correctness check in this repository.
+package ssb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qppt/internal/catalog"
+)
+
+// GenConfig parameterizes the generator.
+type GenConfig struct {
+	// SF is the scale factor: lineorder has ~6,000,000×SF rows. The
+	// paper uses SF=15; tests use small fractions. Values below 1 scale
+	// every table down proportionally (with sane minimums).
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Data is the generated benchmark data in loadable column form.
+type Data struct {
+	SF     float64
+	Tables map[string][]catalog.ColumnData
+}
+
+// Regions and nations follow the TPC-H hierarchy SSB inherits.
+var regionNations = map[string][]string{
+	"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var months = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+var mktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+// city derives an SSB city from a nation: the nation name padded/truncated
+// to 9 characters plus a digit 0–9 (e.g. "UNITED KINGDOM" → "UNITED KI5").
+func city(nation string, i int) string {
+	padded := nation + "          "
+	return padded[:9] + string(rune('0'+i%10))
+}
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 2:
+		if y%4 == 0 && (y%100 != 0 || y%400 == 0) {
+			return 29
+		}
+		return 28
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		return 31
+	}
+}
+
+// Cardinalities per the SSB specification, with proportional scaling for
+// fractional SF (the paper's experiments only vary SF).
+func cardinalities(sf float64) (nCust, nSupp, nPart, nLine int) {
+	scale := func(base int, minimum int) int {
+		n := int(math.Round(float64(base) * sf))
+		if n < minimum {
+			n = minimum
+		}
+		return n
+	}
+	nCust = scale(30000, 100)
+	nSupp = scale(2000, 20)
+	if sf >= 1 {
+		nPart = 200000 * (1 + int(math.Log2(sf)))
+	} else {
+		nPart = scale(200000, 200)
+	}
+	nLine = scale(6000000, 1000)
+	return
+}
+
+// Generate builds a deterministic SSB dataset.
+func Generate(cfg GenConfig) *Data {
+	if cfg.SF <= 0 {
+		cfg.SF = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nCust, nSupp, nPart, nLine := cardinalities(cfg.SF)
+
+	d := &Data{SF: cfg.SF, Tables: make(map[string][]catalog.ColumnData)}
+	dateKeys := genDate(d)
+	genCustomer(d, rng, nCust)
+	genSupplier(d, rng, nSupp)
+	genPart(d, rng, nPart)
+	genLineorder(d, rng, nLine, nCust, nSupp, nPart, dateKeys)
+	return d
+}
+
+// genDate builds the 7-year date dimension (1992–1998) and returns the
+// datekey domain for the fact generator.
+func genDate(d *Data) []uint64 {
+	var (
+		datekey, year, yearmonthnum, weeknum []uint64
+		yearmonth                            []string
+	)
+	for y := 1992; y <= 1998; y++ {
+		dayOfYear := 0
+		for m := 1; m <= 12; m++ {
+			for day := 1; day <= daysInMonth(y, m); day++ {
+				dayOfYear++
+				datekey = append(datekey, uint64(y*10000+m*100+day))
+				year = append(year, uint64(y))
+				yearmonthnum = append(yearmonthnum, uint64(y*100+m))
+				yearmonth = append(yearmonth, fmt.Sprintf("%s%d", months[m-1], y))
+				weeknum = append(weeknum, uint64((dayOfYear-1)/7+1))
+			}
+		}
+	}
+	d.Tables["date"] = []catalog.ColumnData{
+		{Name: "d_datekey", Ints: datekey},
+		{Name: "d_year", Ints: year},
+		{Name: "d_yearmonthnum", Ints: yearmonthnum},
+		{Name: "d_yearmonth", Strs: yearmonth},
+		{Name: "d_weeknuminyear", Ints: weeknum},
+	}
+	return datekey
+}
+
+func genCustomer(d *Data, rng *rand.Rand, n int) {
+	key := make([]uint64, n)
+	cities := make([]string, n)
+	nations := make([]string, n)
+	regs := make([]string, n)
+	segs := make([]string, n)
+	for i := 0; i < n; i++ {
+		region := regions[rng.Intn(len(regions))]
+		nation := regionNations[region][rng.Intn(5)]
+		key[i] = uint64(i + 1)
+		cities[i] = city(nation, rng.Intn(10))
+		nations[i] = nation
+		regs[i] = region
+		segs[i] = mktSegments[rng.Intn(len(mktSegments))]
+	}
+	d.Tables["customer"] = []catalog.ColumnData{
+		{Name: "c_custkey", Ints: key},
+		{Name: "c_city", Strs: cities},
+		{Name: "c_nation", Strs: nations},
+		{Name: "c_region", Strs: regs},
+		{Name: "c_mktsegment", Strs: segs},
+	}
+}
+
+func genSupplier(d *Data, rng *rand.Rand, n int) {
+	key := make([]uint64, n)
+	cities := make([]string, n)
+	nations := make([]string, n)
+	regs := make([]string, n)
+	for i := 0; i < n; i++ {
+		region := regions[rng.Intn(len(regions))]
+		nation := regionNations[region][rng.Intn(5)]
+		key[i] = uint64(i + 1)
+		cities[i] = city(nation, rng.Intn(10))
+		nations[i] = nation
+		regs[i] = region
+	}
+	d.Tables["supplier"] = []catalog.ColumnData{
+		{Name: "s_suppkey", Ints: key},
+		{Name: "s_city", Strs: cities},
+		{Name: "s_nation", Strs: nations},
+		{Name: "s_region", Strs: regs},
+	}
+}
+
+func genPart(d *Data, rng *rand.Rand, n int) {
+	key := make([]uint64, n)
+	mfgrs := make([]string, n)
+	cats := make([]string, n)
+	brands := make([]string, n)
+	sizes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		m := rng.Intn(5) + 1  // MFGR#1..5
+		c := rng.Intn(5) + 1  // category digit 1..5
+		b := rng.Intn(40) + 1 // brand 1..40 within the category
+		key[i] = uint64(i + 1)
+		mfgrs[i] = fmt.Sprintf("MFGR#%d", m)
+		cats[i] = fmt.Sprintf("MFGR#%d%d", m, c)
+		brands[i] = fmt.Sprintf("MFGR#%d%d%d", m, c, b)
+		sizes[i] = uint64(rng.Intn(50) + 1)
+	}
+	d.Tables["part"] = []catalog.ColumnData{
+		{Name: "p_partkey", Ints: key},
+		{Name: "p_mfgr", Strs: mfgrs},
+		{Name: "p_category", Strs: cats},
+		{Name: "p_brand1", Strs: brands},
+		{Name: "p_size", Ints: sizes},
+	}
+}
+
+func genLineorder(d *Data, rng *rand.Rand, n, nCust, nSupp, nPart int, dateKeys []uint64) {
+	orderkey := make([]uint64, n)
+	linenum := make([]uint64, n)
+	custkey := make([]uint64, n)
+	partkey := make([]uint64, n)
+	suppkey := make([]uint64, n)
+	orderdate := make([]uint64, n)
+	quantity := make([]uint64, n)
+	extprice := make([]uint64, n)
+	discount := make([]uint64, n)
+	revenue := make([]uint64, n)
+	supplycost := make([]uint64, n)
+	line := 0
+	for i := 0; i < n; i++ {
+		if line == 0 {
+			line = rng.Intn(7) + 1 // orders have 1–7 lines
+		}
+		orderkey[i] = uint64(i/7 + 1)
+		linenum[i] = uint64(line)
+		line--
+		custkey[i] = uint64(rng.Intn(nCust) + 1)
+		partkey[i] = uint64(rng.Intn(nPart) + 1)
+		suppkey[i] = uint64(rng.Intn(nSupp) + 1)
+		orderdate[i] = dateKeys[rng.Intn(len(dateKeys))]
+		q := uint64(rng.Intn(50) + 1)
+		quantity[i] = q
+		price := q * uint64(rng.Intn(1000)+1000) // unit price 1000–1999
+		extprice[i] = price
+		disc := uint64(rng.Intn(11)) // 0–10 percent
+		discount[i] = disc
+		revenue[i] = price * (100 - disc) / 100
+		supplycost[i] = price * 6 / 10
+	}
+	d.Tables["lineorder"] = []catalog.ColumnData{
+		{Name: "lo_orderkey", Ints: orderkey},
+		{Name: "lo_linenumber", Ints: linenum},
+		{Name: "lo_custkey", Ints: custkey},
+		{Name: "lo_partkey", Ints: partkey},
+		{Name: "lo_suppkey", Ints: suppkey},
+		{Name: "lo_orderdate", Ints: orderdate},
+		{Name: "lo_quantity", Ints: quantity},
+		{Name: "lo_extendedprice", Ints: extprice},
+		{Name: "lo_discount", Ints: discount},
+		{Name: "lo_revenue", Ints: revenue},
+		{Name: "lo_supplycost", Ints: supplycost},
+	}
+}

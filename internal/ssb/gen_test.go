@@ -1,0 +1,153 @@
+package ssb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCardinalityScaling(t *testing.T) {
+	c, s, p, l := cardinalities(1)
+	if c != 30000 || s != 2000 || p != 200000 || l != 6000000 {
+		t.Fatalf("SF 1 cardinalities: %d %d %d %d", c, s, p, l)
+	}
+	c, s, p, l = cardinalities(4)
+	if c != 120000 || s != 8000 || l != 24000000 {
+		t.Fatalf("SF 4 cardinalities: %d %d %d", c, s, l)
+	}
+	if p != 200000*3 { // 1 + log2(4)
+		t.Fatalf("SF 4 parts = %d", p)
+	}
+	c, s, p, l = cardinalities(0.0001)
+	if c < 100 || s < 20 || p < 200 || l < 1000 {
+		t.Fatalf("tiny SF ignores minimums: %d %d %d %d", c, s, p, l)
+	}
+}
+
+func TestDateDimensionShape(t *testing.T) {
+	d := Generate(GenConfig{SF: 0.001, Seed: 1})
+	cols := map[string][]uint64{}
+	var yearmonth []string
+	for _, c := range d.Tables["date"] {
+		if c.Name == "d_yearmonth" {
+			yearmonth = c.Strs
+			continue
+		}
+		cols[c.Name] = c.Ints
+	}
+	if len(cols["d_datekey"]) != 2557 {
+		t.Fatalf("date rows = %d", len(cols["d_datekey"]))
+	}
+	// Datekeys strictly increasing, consistent with year/month fields.
+	for i := range cols["d_datekey"] {
+		dk := cols["d_datekey"][i]
+		y, m, day := dk/10000, dk/100%100, dk%100
+		if y < 1992 || y > 1998 || m < 1 || m > 12 || day < 1 || day > 31 {
+			t.Fatalf("bad datekey %d", dk)
+		}
+		if cols["d_year"][i] != y || cols["d_yearmonthnum"][i] != y*100+m {
+			t.Fatalf("inconsistent year fields at %d", dk)
+		}
+		if w := cols["d_weeknuminyear"][i]; w < 1 || w > 53 {
+			t.Fatalf("week %d at %d", w, dk)
+		}
+		if i > 0 && dk <= cols["d_datekey"][i-1] {
+			t.Fatalf("datekeys not increasing at %d", i)
+		}
+	}
+	if yearmonth[0] != "Jan1992" || yearmonth[len(yearmonth)-1] != "Dec1998" {
+		t.Fatalf("yearmonth bounds: %s..%s", yearmonth[0], yearmonth[len(yearmonth)-1])
+	}
+	// Feb 29 exists in 1992 and 1996 only.
+	leaps := 0
+	for _, dk := range cols["d_datekey"] {
+		if dk%10000 == 229 {
+			leaps++
+		}
+	}
+	if leaps != 2 {
+		t.Fatalf("%d leap days, want 2", leaps)
+	}
+}
+
+func TestDimensionDomains(t *testing.T) {
+	d := Generate(GenConfig{SF: 0.05, Seed: 2})
+	// Customer regions roughly uniform over the five regions.
+	var regions []string
+	var cities []string
+	var nations []string
+	for _, c := range d.Tables["customer"] {
+		switch c.Name {
+		case "c_region":
+			regions = c.Strs
+		case "c_city":
+			cities = c.Strs
+		case "c_nation":
+			nations = c.Strs
+		}
+	}
+	count := map[string]int{}
+	for _, r := range regions {
+		count[r]++
+	}
+	if len(count) != 5 {
+		t.Fatalf("%d regions", len(count))
+	}
+	expected := float64(len(regions)) / 5
+	for r, n := range count {
+		if math.Abs(float64(n)-expected) > expected/2 {
+			t.Errorf("region %s count %d far from uniform %f", r, n, expected)
+		}
+	}
+	// Cities derive from nations: 9-char prefix + digit.
+	for i, city := range cities {
+		if len(city) != 10 {
+			t.Fatalf("city %q not 10 chars", city)
+		}
+		padded := nations[i] + "          "
+		if city[:9] != padded[:9] {
+			t.Fatalf("city %q does not match nation %q", city, nations[i])
+		}
+	}
+	// Part brands extend their category which extends the manufacturer.
+	var mfgr, cat, brand []string
+	for _, c := range d.Tables["part"] {
+		switch c.Name {
+		case "p_mfgr":
+			mfgr = c.Strs
+		case "p_category":
+			cat = c.Strs
+		case "p_brand1":
+			brand = c.Strs
+		}
+	}
+	for i := range mfgr {
+		if !strings.HasPrefix(cat[i], mfgr[i]) || !strings.HasPrefix(brand[i], cat[i]) {
+			t.Fatalf("hierarchy broken: %s / %s / %s", mfgr[i], cat[i], brand[i])
+		}
+	}
+}
+
+func TestLineorderMeasures(t *testing.T) {
+	d := Generate(GenConfig{SF: 0.002, Seed: 5})
+	cols := map[string][]uint64{}
+	for _, c := range d.Tables["lineorder"] {
+		cols[c.Name] = c.Ints
+	}
+	for i := range cols["lo_quantity"] {
+		q, disc := cols["lo_quantity"][i], cols["lo_discount"][i]
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %d", q)
+		}
+		if disc > 10 {
+			t.Fatalf("discount %d", disc)
+		}
+		if cols["lo_supplycost"][i] >= cols["lo_revenue"][i] {
+			t.Fatalf("row %d: supplycost %d >= revenue %d (profit must stay positive)",
+				i, cols["lo_supplycost"][i], cols["lo_revenue"][i])
+		}
+		if i > 0 && cols["lo_orderkey"][i] < cols["lo_orderkey"][i-1] {
+			t.Fatalf("orderkeys not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package ssb
+
+import "qppt/internal/core"
+
+// dimSel bundles a dimension selection: its base index, the predicate on
+// that index's key, the key attribute of the output (the dimension's
+// foreign-key column in lineorder terms), and the attribute carried into
+// the output payload (empty for pure existence filters).
+type dimSel struct {
+	idx    *core.IndexedTable
+	pred   core.KeyPred
+	outKey string
+	carry  string
+}
+
+// selection materializes a dimSel as a Selection operator producing an
+// index keyed on the dimension key with the carried attribute as payload.
+func (ds *Dataset) selection(name string, d dimSel, keyBits uint) *core.Selection {
+	out := core.OutputSpec{
+		Name:    name,
+		Key:     core.SimpleKey(d.outKey, keyBits),
+		KeyRefs: []core.Ref{{Input: 0, Attr: d.outKey}},
+	}
+	if d.carry != "" {
+		out.Cols = []string{d.carry}
+		out.ColExprs = []core.RowExpr{core.Attr(0, d.carry)}
+	}
+	return &core.Selection{Input: &core.Base{Table: d.idx}, Pred: d.pred, Out: out}
+}
+
+// planQ3 builds the Q3.x plans: customer, supplier and date selections
+// star-joined against lineorder-by-custkey, grouped by
+// (d_year, customer attribute, supplier attribute) with sum(lo_revenue).
+// With select-join the customer selection is fused into the star join.
+func (ds *Dataset) planQ3(opt PlanOptions, cust, supp, date dimSel) (*core.Plan, error) {
+	loMain := ds.Lineorder.MustIndex([]string{"lo_custkey"},
+		"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost")
+	selSupp := ds.selection("σ_supplier", supp, ds.Supplier.Bits("s_suppkey"))
+	selDate := ds.selection("σ_date", date, ds.Date.Bits("d_datekey"))
+
+	groupKey := core.GroupKey(
+		[]string{"d_year", cust.carry, supp.carry},
+		[]uint{ds.Date.Bits("d_year"), ds.Customer.Bits(cust.carry), ds.Supplier.Bits(supp.carry)})
+	cols := []string{"revenue"}
+
+	if opt.UseSelectJoin {
+		sj := &core.SelectJoin{
+			SelInput:      &core.Base{Table: cust.idx},
+			Pred:          cust.pred,
+			Main:          &core.Base{Table: loMain},
+			ProbeMainWith: core.Ref{Input: 0, Attr: cust.outKey},
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 1, Attr: "lo_suppkey"}},
+				{Input: selDate, ProbeWith: core.Ref{Input: 1, Attr: "lo_orderdate"}},
+			},
+			Out: core.OutputSpec{
+				Name:     "Γ_year_c_s",
+				Key:      groupKey,
+				KeyRefs:  []core.Ref{{Input: 3, Attr: "d_year"}, {Input: 0, Attr: cust.carry}, {Input: 2, Attr: supp.carry}},
+				Cols:     cols,
+				ColExprs: []core.RowExpr{core.Attr(1, "lo_revenue")},
+				Fold:     core.FoldSum(0),
+			},
+		}
+		return &core.Plan{Root: sj}, nil
+	}
+
+	selCust := ds.selection("σ_customer", cust, ds.Customer.Bits("c_custkey"))
+	join := &core.Join{
+		Left:  &core.Base{Table: loMain},
+		Right: selCust,
+		Assists: []core.Assist{
+			{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+			{Input: selDate, ProbeWith: core.Ref{Input: 0, Attr: "lo_orderdate"}},
+		},
+		Out: core.OutputSpec{
+			Name:     "Γ_year_c_s",
+			Key:      groupKey,
+			KeyRefs:  []core.Ref{{Input: 3, Attr: "d_year"}, {Input: 1, Attr: cust.carry}, {Input: 2, Attr: supp.carry}},
+			Cols:     cols,
+			ColExprs: []core.RowExpr{core.Attr(0, "lo_revenue")},
+			Fold:     core.FoldSum(0),
+		},
+	}
+	return &core.Plan{Root: join}, nil
+}
+
+// q4Main returns the lineorder-by-custkey main index every Q4.x plan
+// starts from.
+func (ds *Dataset) q4Main() *core.IndexedTable {
+	return ds.Lineorder.MustIndex([]string{"lo_custkey"},
+		"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost")
+}
+
+// planQ41 builds query 4.1 honoring PlanOptions.JoinArity — the Figure 9
+// sweep. The arity caps how many tables one composed join operator may
+// join; lower arities chain additional 2-way joins, each materializing an
+// intermediate index keyed on the next join attribute.
+func (ds *Dataset) planQ41(opt PlanOptions) (*core.Plan, error) {
+	loMain := ds.q4Main()
+	selCustSpec := dimSel{ds.Customer.MustIndex([]string{"c_region"}, "c_custkey", "c_nation"),
+		ds.strPoint(ds.Customer, "c_region", "AMERICA"), "c_custkey", "c_nation"}
+	selSupp := ds.selection("σ_supplier",
+		dimSel{ds.Supplier.MustIndex([]string{"s_region"}, "s_suppkey"),
+			ds.strPoint(ds.Supplier, "s_region", "AMERICA"), "s_suppkey", ""},
+		ds.Supplier.Bits("s_suppkey"))
+	selPart := ds.selection("σ_part",
+		dimSel{ds.Part.MustIndex([]string{"p_mfgr"}, "p_partkey", "p_brand1", "p_category"),
+			ds.strIn(ds.Part, "p_mfgr", "MFGR#1", "MFGR#2"), "p_partkey", ""},
+		ds.Part.Bits("p_partkey"))
+	dateIdx := &core.Base{Table: ds.Date.MustIndex([]string{"d_datekey"}, "d_year")}
+
+	groupKey := core.GroupKey([]string{"d_year", "c_nation"},
+		[]uint{ds.Date.Bits("d_year"), ds.Customer.Bits("c_nation")})
+	odBits := ds.Lineorder.Bits("lo_orderdate")
+	arity := opt.JoinArity
+	if arity <= 0 || arity > 5 {
+		arity = 5
+	}
+
+	// With select-join and full arity, the customer selection fuses into
+	// the star join (the plan the paper's Figure 7 uses for the 4.x
+	// queries). Arity-capped plans keep selections separate so that
+	// Figure 9 isolates the join-composition effect.
+	if opt.UseSelectJoin && arity == 5 {
+		sj := &core.SelectJoin{
+			SelInput:      &core.Base{Table: selCustSpec.idx},
+			Pred:          selCustSpec.pred,
+			Main:          &core.Base{Table: loMain},
+			ProbeMainWith: core.Ref{Input: 0, Attr: "c_custkey"},
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 1, Attr: "lo_suppkey"}},
+				{Input: selPart, ProbeWith: core.Ref{Input: 1, Attr: "lo_partkey"}},
+				{Input: dateIdx, ProbeWith: core.Ref{Input: 1, Attr: "lo_orderdate"}},
+			},
+			Out: core.OutputSpec{
+				Name:     "Γ_year_nation",
+				Key:      groupKey,
+				KeyRefs:  []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 0, Attr: "c_nation"}},
+				Cols:     []string{"profit"},
+				ColExprs: []core.RowExpr{core.Computed(q4ProfitAt(ds, []*core.IndexedTable{selCustSpec.idx, loMain}))},
+				Fold:     core.FoldSum(0),
+			},
+		}
+		return &core.Plan{Root: sj}, nil
+	}
+
+	selCust := ds.selection("σ_customer", selCustSpec, ds.Customer.Bits("c_custkey"))
+	profitLo0 := q4ProfitAt(ds, []*core.IndexedTable{loMain}) // lineorder is input 0 below
+
+	switch arity {
+	case 5: // one 5-way star join doing everything
+		join := &core.Join{
+			Left: &core.Base{Table: loMain}, Right: selCust,
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+				{Input: selPart, ProbeWith: core.Ref{Input: 0, Attr: "lo_partkey"}},
+				{Input: dateIdx, ProbeWith: core.Ref{Input: 0, Attr: "lo_orderdate"}},
+			},
+			Out: core.OutputSpec{
+				Name: "Γ_year_nation", Key: groupKey,
+				KeyRefs:  []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 1, Attr: "c_nation"}},
+				Cols:     []string{"profit"},
+				ColExprs: []core.RowExpr{core.Computed(profitLo0)},
+				Fold:     core.FoldSum(0),
+			},
+		}
+		return &core.Plan{Root: join}, nil
+
+	case 4: // 4-way star join, then 2-way join-group with date
+		j1 := &core.Join{
+			Left: &core.Base{Table: loMain}, Right: selCust,
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+				{Input: selPart, ProbeWith: core.Ref{Input: 0, Attr: "lo_partkey"}},
+			},
+			Out: core.OutputSpec{
+				Name: "⋈4_orderdate", Key: core.SimpleKey("lo_orderdate", odBits),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: "lo_orderdate"}},
+				Cols:     []string{"c_nation", "profit"},
+				ColExprs: []core.RowExpr{core.Attr(1, "c_nation"), core.Computed(profitLo0)},
+			},
+		}
+		return &core.Plan{Root: ds.q4DateGroup(j1, dateIdx, groupKey)}, nil
+
+	case 3: // 3-way star join, 2-way with part, 2-way join-group with date
+		j1 := &core.Join{
+			Left: &core.Base{Table: loMain}, Right: selCust,
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+			},
+			Out: core.OutputSpec{
+				Name: "⋈3_partkey", Key: core.SimpleKey("lo_partkey", ds.Lineorder.Bits("lo_partkey")),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: "lo_partkey"}},
+				Cols:     []string{"lo_orderdate", "c_nation", "profit"},
+				ColExprs: []core.RowExpr{core.Attr(0, "lo_orderdate"), core.Attr(1, "c_nation"), core.Computed(profitLo0)},
+			},
+		}
+		j2 := ds.q4PartJoin(j1, selPart, odBits)
+		return &core.Plan{Root: ds.q4DateGroup(j2, dateIdx, groupKey)}, nil
+
+	default: // arity 2: a chain of 2-way joins only
+		j1 := &core.Join{
+			Left: &core.Base{Table: loMain}, Right: selCust,
+			Out: core.OutputSpec{
+				Name: "⋈2_suppkey", Key: core.SimpleKey("lo_suppkey", ds.Lineorder.Bits("lo_suppkey")),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: "lo_suppkey"}},
+				Cols:     []string{"lo_partkey", "lo_orderdate", "c_nation", "profit"},
+				ColExprs: []core.RowExpr{core.Attr(0, "lo_partkey"), core.Attr(0, "lo_orderdate"), core.Attr(1, "c_nation"), core.Computed(profitLo0)},
+			},
+		}
+		j2 := &core.Join{
+			Left: j1, Right: selSupp,
+			Out: core.OutputSpec{
+				Name: "⋈2_partkey", Key: core.SimpleKey("lo_partkey", ds.Lineorder.Bits("lo_partkey")),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: "lo_partkey"}},
+				Cols:     []string{"lo_orderdate", "c_nation", "profit"},
+				ColExprs: []core.RowExpr{core.Attr(0, "lo_orderdate"), core.Attr(0, "c_nation"), core.Attr(0, "profit")},
+			},
+		}
+		j3 := ds.q4PartJoin(j2, selPart, odBits)
+		return &core.Plan{Root: ds.q4DateGroup(j3, dateIdx, groupKey)}, nil
+	}
+}
+
+// q4ProfitAt compiles the profit measure against a layout where lineorder
+// attributes live in the given input position.
+func q4ProfitAt(ds *Dataset, inputs []*core.IndexedTable) func(ctx []uint64) uint64 {
+	loInput := len(inputs) - 1
+	offs := core.CtxOffsets(inputs,
+		core.Ref{Input: loInput, Attr: "lo_revenue"},
+		core.Ref{Input: loInput, Attr: "lo_supplycost"})
+	rOff, scOff := offs[0], offs[1]
+	return func(ctx []uint64) uint64 { return ctx[rOff] - ctx[scOff] }
+}
+
+// q4PartJoin joins an intermediate keyed on lo_partkey with the part
+// selection, producing an index keyed on lo_orderdate.
+func (ds *Dataset) q4PartJoin(left core.Operator, selPart *core.Selection, odBits uint) *core.Join {
+	return &core.Join{
+		Left: left, Right: selPart,
+		Out: core.OutputSpec{
+			Name: "⋈_orderdate", Key: core.SimpleKey("lo_orderdate", odBits),
+			KeyRefs:  []core.Ref{{Input: 0, Attr: "lo_orderdate"}},
+			Cols:     []string{"c_nation", "profit"},
+			ColExprs: []core.RowExpr{core.Attr(0, "c_nation"), core.Attr(0, "profit")},
+		},
+	}
+}
+
+// q4DateGroup is the final 2-way join-group with the date dimension.
+func (ds *Dataset) q4DateGroup(left core.Operator, dateIdx *core.Base, groupKey core.KeySpec) *core.Join {
+	return &core.Join{
+		Left: left, Right: dateIdx,
+		Out: core.OutputSpec{
+			Name: "Γ_year_nation", Key: groupKey,
+			KeyRefs:  []core.Ref{{Input: 1, Attr: "d_year"}, {Input: 0, Attr: "c_nation"}},
+			Cols:     []string{"profit"},
+			ColExprs: []core.RowExpr{core.Attr(0, "profit")},
+			Fold:     core.FoldSum(0),
+		},
+	}
+}
+
+// planQ42 builds query 4.2: regions on customer and supplier, mfgr on
+// part, years {1997, 1998}, grouped by (d_year, s_nation, p_category).
+func (ds *Dataset) planQ42(opt PlanOptions) (*core.Plan, error) {
+	loMain := ds.q4Main()
+	custIdx := ds.Customer.MustIndex([]string{"c_region"}, "c_custkey", "c_nation")
+	custPred := ds.strPoint(ds.Customer, "c_region", "AMERICA")
+	// The supplier payload carries s_nation for the group key.
+	selSupp := ds.selection("σ_supplier",
+		dimSel{ds.Supplier.MustIndex([]string{"s_region"}, "s_suppkey", "s_nation"),
+			ds.strPoint(ds.Supplier, "s_region", "AMERICA"), "s_suppkey", "s_nation"},
+		ds.Supplier.Bits("s_suppkey"))
+	selPart := ds.selection("σ_part",
+		dimSel{ds.Part.MustIndex([]string{"p_mfgr"}, "p_partkey", "p_brand1", "p_category"),
+			ds.strIn(ds.Part, "p_mfgr", "MFGR#1", "MFGR#2"), "p_partkey", "p_category"},
+		ds.Part.Bits("p_partkey"))
+	selDate := ds.selection("σ_date",
+		dimSel{ds.Date.MustIndex([]string{"d_year"}, "d_datekey", "d_weeknuminyear"),
+			core.In(1997, 1998), "d_datekey", "d_year"},
+		ds.Date.Bits("d_datekey"))
+
+	groupKey := core.GroupKey([]string{"d_year", "s_nation", "p_category"},
+		[]uint{ds.Date.Bits("d_year"), ds.Supplier.Bits("s_nation"), ds.Part.Bits("p_category")})
+
+	if opt.UseSelectJoin {
+		sj := &core.SelectJoin{
+			SelInput:      &core.Base{Table: custIdx},
+			Pred:          custPred,
+			Main:          &core.Base{Table: loMain},
+			ProbeMainWith: core.Ref{Input: 0, Attr: "c_custkey"},
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 1, Attr: "lo_suppkey"}},
+				{Input: selPart, ProbeWith: core.Ref{Input: 1, Attr: "lo_partkey"}},
+				{Input: selDate, ProbeWith: core.Ref{Input: 1, Attr: "lo_orderdate"}},
+			},
+			Out: core.OutputSpec{
+				Name:    "Γ_year_nation_cat",
+				Key:     groupKey,
+				KeyRefs: []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 2, Attr: "s_nation"}, {Input: 3, Attr: "p_category"}},
+				Cols:    []string{"profit"},
+				ColExprs: []core.RowExpr{core.Computed(
+					q4ProfitAt(ds, []*core.IndexedTable{custIdx, loMain}))},
+				Fold: core.FoldSum(0),
+			},
+		}
+		return &core.Plan{Root: sj}, nil
+	}
+	selCust := ds.selection("σ_customer",
+		dimSel{custIdx, custPred, "c_custkey", ""}, ds.Customer.Bits("c_custkey"))
+	join := &core.Join{
+		Left: &core.Base{Table: loMain}, Right: selCust,
+		Assists: []core.Assist{
+			{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+			{Input: selPart, ProbeWith: core.Ref{Input: 0, Attr: "lo_partkey"}},
+			{Input: selDate, ProbeWith: core.Ref{Input: 0, Attr: "lo_orderdate"}},
+		},
+		Out: core.OutputSpec{
+			Name:    "Γ_year_nation_cat",
+			Key:     groupKey,
+			KeyRefs: []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 2, Attr: "s_nation"}, {Input: 3, Attr: "p_category"}},
+			Cols:    []string{"profit"},
+			ColExprs: []core.RowExpr{core.Computed(
+				q4ProfitAt(ds, []*core.IndexedTable{loMain}))},
+			Fold: core.FoldSum(0),
+		},
+	}
+	return &core.Plan{Root: join}, nil
+}
+
+// planQ43 builds query 4.3: customer region AMERICA (existence only),
+// supplier nation UNITED STATES, years {1997, 1998}, all parts joined for
+// their brand, grouped by (d_year, s_city, p_brand1).
+func (ds *Dataset) planQ43(opt PlanOptions) (*core.Plan, error) {
+	loMain := ds.q4Main()
+	custIdx := ds.Customer.MustIndex([]string{"c_region"}, "c_custkey", "c_nation")
+	custPred := ds.strPoint(ds.Customer, "c_region", "AMERICA")
+	selSupp := ds.selection("σ_supplier",
+		dimSel{ds.Supplier.MustIndex([]string{"s_nation"}, "s_suppkey", "s_city"),
+			ds.strPoint(ds.Supplier, "s_nation", "UNITED STATES"), "s_suppkey", "s_city"},
+		ds.Supplier.Bits("s_suppkey"))
+	partIdx := &core.Base{Table: ds.Part.MustIndex([]string{"p_partkey"}, "p_brand1")}
+	selDate := ds.selection("σ_date",
+		dimSel{ds.Date.MustIndex([]string{"d_year"}, "d_datekey", "d_weeknuminyear"),
+			core.In(1997, 1998), "d_datekey", "d_year"},
+		ds.Date.Bits("d_datekey"))
+
+	groupKey := core.GroupKey([]string{"d_year", "s_city", "p_brand1"},
+		[]uint{ds.Date.Bits("d_year"), ds.Supplier.Bits("s_city"), ds.Part.Bits("p_brand1")})
+
+	if opt.UseSelectJoin {
+		sj := &core.SelectJoin{
+			SelInput:      &core.Base{Table: custIdx},
+			Pred:          custPred,
+			Main:          &core.Base{Table: loMain},
+			ProbeMainWith: core.Ref{Input: 0, Attr: "c_custkey"},
+			Assists: []core.Assist{
+				{Input: selSupp, ProbeWith: core.Ref{Input: 1, Attr: "lo_suppkey"}},
+				{Input: partIdx, ProbeWith: core.Ref{Input: 1, Attr: "lo_partkey"}},
+				{Input: selDate, ProbeWith: core.Ref{Input: 1, Attr: "lo_orderdate"}},
+			},
+			Out: core.OutputSpec{
+				Name:    "Γ_year_city_brand",
+				Key:     groupKey,
+				KeyRefs: []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 2, Attr: "s_city"}, {Input: 3, Attr: "p_brand1"}},
+				Cols:    []string{"profit"},
+				ColExprs: []core.RowExpr{core.Computed(
+					q4ProfitAt(ds, []*core.IndexedTable{custIdx, loMain}))},
+				Fold: core.FoldSum(0),
+			},
+		}
+		return &core.Plan{Root: sj}, nil
+	}
+	selCust := ds.selection("σ_customer",
+		dimSel{custIdx, custPred, "c_custkey", ""}, ds.Customer.Bits("c_custkey"))
+	join := &core.Join{
+		Left: &core.Base{Table: loMain}, Right: selCust,
+		Assists: []core.Assist{
+			{Input: selSupp, ProbeWith: core.Ref{Input: 0, Attr: "lo_suppkey"}},
+			{Input: partIdx, ProbeWith: core.Ref{Input: 0, Attr: "lo_partkey"}},
+			{Input: selDate, ProbeWith: core.Ref{Input: 0, Attr: "lo_orderdate"}},
+		},
+		Out: core.OutputSpec{
+			Name:    "Γ_year_city_brand",
+			Key:     groupKey,
+			KeyRefs: []core.Ref{{Input: 4, Attr: "d_year"}, {Input: 2, Attr: "s_city"}, {Input: 3, Attr: "p_brand1"}},
+			Cols:    []string{"profit"},
+			ColExprs: []core.RowExpr{core.Computed(
+				q4ProfitAt(ds, []*core.IndexedTable{loMain}))},
+			Fold: core.FoldSum(0),
+		},
+	}
+	return &core.Plan{Root: join}, nil
+}

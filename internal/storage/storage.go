@@ -1,0 +1,468 @@
+// Package storage implements the row-store substrate that QPPT runs on:
+// an in-memory row store with multi-version concurrency control, the shape
+// of the paper's DexterDB prototype ("an in-memory database system that
+// stores tuples in a row-store and uses MVCC for transactional isolation",
+// Section 5).
+//
+// Tuples are fixed-width rows of uint64 attribute values (integers directly,
+// strings as order-preserving dictionary codes assigned by the catalog).
+// Rows are addressed by record identifiers (RIDs); each RID heads a version
+// chain, and transactions run under snapshot isolation: reads see the
+// committed state as of the transaction's begin timestamp, and write-write
+// conflicts abort the later writer.
+//
+// Base indexes have to care for transactional isolation (Section 3); QPPT's
+// intermediate indexes do not, because they are private to one query. The
+// storage layer therefore exposes RIDs and visibility checks for index
+// readers, while intermediate results never touch this package.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ColType describes the logical type of a column. Both types are stored as
+// uint64 words: integers directly (signed values through key.FromInt64 when
+// indexed), strings as order-preserving dictionary codes.
+type ColType uint8
+
+const (
+	// TypeInt is a 64-bit integer column.
+	TypeInt ColType = iota
+	// TypeString is a dictionary-encoded string column.
+	TypeString
+)
+
+// A Column is one attribute of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// A Schema is an ordered list of columns with name lookup.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cols returns the schema's columns in order.
+func (s *Schema) Cols() []Column { return s.cols }
+
+// Width reports the number of columns.
+func (s *Schema) Width() int { return len(s.cols) }
+
+// Col returns the position of the named column, or -1.
+func (s *Schema) Col(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustCol is Col that panics on unknown names, for static plans.
+func (s *Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("storage: unknown column %q", name))
+	}
+	return i
+}
+
+// Timestamps. Committed versions carry plain commit timestamps; versions
+// written by an in-flight transaction carry a transaction marker (high bit
+// set) until commit.
+const (
+	tsInfinity = math.MaxUint64
+	txnMarkBit = uint64(1) << 63
+)
+
+func isTxnMark(ts uint64) bool { return ts&txnMarkBit != 0 }
+
+// A version is one tuple version in a RID's chain, newest first.
+type version struct {
+	begin uint64 // commit TS of the creator, or txn marker while in flight
+	end   uint64 // commit TS of the deleter, tsInfinity, or txn marker
+	next  *version
+	data  []uint64
+}
+
+// A Table is an in-memory row-store table: a slice of version chains
+// indexed by RID.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu   sync.RWMutex
+	rows []*version
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRIDs reports the number of allocated RIDs (including rows whose every
+// version may be invisible to a given snapshot).
+func (t *Table) NumRIDs() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// A Manager owns tables, the commit clock, and transaction bookkeeping.
+type Manager struct {
+	mu     sync.Mutex
+	clock  uint64 // last issued commit timestamp
+	nextID uint64 // transaction id counter
+	tables map[string]*Table
+}
+
+// NewManager returns an empty storage manager. The commit clock starts at 1
+// so that bulk-loaded data (begin TS 1) is visible to every transaction.
+func NewManager() *Manager {
+	return &Manager{clock: 1, tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new empty table.
+func (m *Manager) CreateTable(name string, schema *Schema) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := &Table{name: name, schema: schema}
+	m.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (m *Manager) Table(name string) *Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tables[name]
+}
+
+// BulkLoad appends committed rows directly, bypassing the transaction
+// machinery; it is the load path for benchmark data. It returns the RID of
+// the first appended row; the rows occupy consecutive RIDs.
+func (t *Table) BulkLoad(rows [][]uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first := uint64(len(t.rows))
+	for _, r := range rows {
+		if len(r) != t.schema.Width() {
+			panic(fmt.Sprintf("storage: row width %d != schema width %d", len(r), t.schema.Width()))
+		}
+		data := make([]uint64, len(r))
+		copy(data, r)
+		t.rows = append(t.rows, &version{begin: 1, end: tsInfinity, data: data})
+	}
+	return first
+}
+
+// ReadCommitted returns the newest committed data for rid as of ts, or nil
+// if no version is visible. It is the read path for single-statement OLAP
+// queries, which run against the latest stable snapshot.
+func (t *Table) ReadCommitted(rid uint64, ts uint64) []uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rid >= uint64(len(t.rows)) {
+		return nil
+	}
+	for v := t.rows[rid]; v != nil; v = v.next {
+		if isTxnMark(v.begin) || v.begin > ts {
+			continue
+		}
+		if !isTxnMark(v.end) && v.end <= ts {
+			return nil // deleted before ts; older versions are older still
+		}
+		return v.data
+	}
+	return nil
+}
+
+// ScanCommitted visits every row visible at ts with its RID. The row slice
+// aliases storage memory and is only valid during the call.
+func (t *Table) ScanCommitted(ts uint64, visit func(rid uint64, row []uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for rid := range t.rows {
+		for v := t.rows[rid]; v != nil; v = v.next {
+			if isTxnMark(v.begin) || v.begin > ts {
+				continue
+			}
+			if !isTxnMark(v.end) && v.end <= ts {
+				break
+			}
+			if !visit(uint64(rid), v.data) {
+				return
+			}
+			break
+		}
+	}
+}
+
+// Now returns the current commit clock; reads at this timestamp see all
+// committed data.
+func (m *Manager) Now() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// ErrConflict is returned when a write-write conflict forces an abort.
+var ErrConflict = errors.New("storage: write-write conflict")
+
+// ErrDone is returned for operations on a committed or aborted transaction.
+var ErrDone = errors.New("storage: transaction already finished")
+
+// A Txn is a snapshot-isolation transaction.
+type Txn struct {
+	m      *Manager
+	mark   uint64 // txnMarkBit | id
+	readTS uint64
+	done   bool
+	writes []writeRec
+}
+
+type writeRec struct {
+	table   *Table
+	rid     uint64
+	created *version // version this txn added (nil for pure deletes)
+	old     *version // version whose end this txn stamped (nil for inserts)
+}
+
+// Begin starts a transaction reading the current committed snapshot.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return &Txn{m: m, mark: txnMarkBit | m.nextID, readTS: m.clock}
+}
+
+// ReadTS returns the transaction's snapshot timestamp.
+func (tx *Txn) ReadTS() uint64 { return tx.readTS }
+
+// visible reports whether version v is visible to this transaction.
+func (tx *Txn) visible(v *version) bool {
+	switch {
+	case v.begin == tx.mark:
+		// own write; visible unless this txn deleted it again
+		return v.end != tx.mark
+	case isTxnMark(v.begin) || v.begin > tx.readTS:
+		return false
+	}
+	if v.end == tx.mark {
+		return false // deleted by this txn
+	}
+	if !isTxnMark(v.end) && v.end <= tx.readTS {
+		return false
+	}
+	return true
+}
+
+// Get returns the row data visible to the transaction, or nil.
+func (tx *Txn) Get(t *Table, rid uint64) []uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rid >= uint64(len(t.rows)) {
+		return nil
+	}
+	for v := t.rows[rid]; v != nil; v = v.next {
+		if tx.visible(v) {
+			return v.data
+		}
+	}
+	return nil
+}
+
+// Scan visits every row visible to the transaction.
+func (tx *Txn) Scan(t *Table, visit func(rid uint64, row []uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for rid := range t.rows {
+		for v := t.rows[rid]; v != nil; v = v.next {
+			if tx.visible(v) {
+				if !visit(uint64(rid), v.data) {
+					return
+				}
+				break
+			}
+		}
+	}
+}
+
+// Insert adds a new row, returning its RID. The row becomes visible to
+// other transactions once this one commits.
+func (tx *Txn) Insert(t *Table, row []uint64) (uint64, error) {
+	if tx.done {
+		return 0, ErrDone
+	}
+	if len(row) != t.schema.Width() {
+		return 0, fmt.Errorf("storage: row width %d != schema width %d", len(row), t.schema.Width())
+	}
+	data := make([]uint64, len(row))
+	copy(data, row)
+	v := &version{begin: tx.mark, end: tsInfinity, data: data}
+	t.mu.Lock()
+	rid := uint64(len(t.rows))
+	t.rows = append(t.rows, v)
+	t.mu.Unlock()
+	tx.writes = append(tx.writes, writeRec{table: t, rid: rid, created: v})
+	return rid, nil
+}
+
+// Update replaces the row at rid. It returns ErrConflict if another
+// transaction has touched the row since this transaction's snapshot.
+func (tx *Txn) Update(t *Table, rid uint64, row []uint64) error {
+	return tx.mutate(t, rid, row)
+}
+
+// Delete removes the row at rid, with the same conflict rules as Update.
+func (tx *Txn) Delete(t *Table, rid uint64) error {
+	return tx.mutate(t, rid, nil)
+}
+
+// mutate stamps the head version's end and, for updates, prepends the new
+// version. newRow == nil means delete.
+func (tx *Txn) mutate(t *Table, rid uint64, newRow []uint64) error {
+	if tx.done {
+		return ErrDone
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rid >= uint64(len(t.rows)) {
+		return fmt.Errorf("storage: rid %d out of range", rid)
+	}
+	head := t.rows[rid]
+	if head == nil {
+		return fmt.Errorf("storage: rid %d was vacuumed", rid)
+	}
+	// First-writer-wins: any concurrent uncommitted writer, or a commit
+	// after our snapshot, aborts this write.
+	if head.begin == tx.mark {
+		// updating our own earlier write: fold into it
+	} else if isTxnMark(head.begin) || head.begin > tx.readTS {
+		return ErrConflict
+	}
+	if head.end != tsInfinity && head.end != tx.mark {
+		return ErrConflict // deleted by someone (committed or in flight)
+	}
+	if newRow == nil {
+		head.end = tx.mark
+		tx.writes = append(tx.writes, writeRec{table: t, rid: rid, old: head})
+		return nil
+	}
+	if len(newRow) != t.schema.Width() {
+		return fmt.Errorf("storage: row width %d != schema width %d", len(newRow), t.schema.Width())
+	}
+	data := make([]uint64, len(newRow))
+	copy(data, newRow)
+	head.end = tx.mark
+	v := &version{begin: tx.mark, end: tsInfinity, next: head, data: data}
+	t.rows[rid] = v
+	tx.writes = append(tx.writes, writeRec{table: t, rid: rid, created: v, old: head})
+	return nil
+}
+
+// Commit makes all writes durable at a single new commit timestamp.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrDone
+	}
+	tx.done = true
+	tx.m.mu.Lock()
+	tx.m.clock++
+	commitTS := tx.m.clock
+	tx.m.mu.Unlock()
+	for _, w := range tx.writes {
+		w.table.mu.Lock()
+		if w.created != nil {
+			w.created.begin = commitTS
+		}
+		if w.old != nil {
+			w.old.end = commitTS
+		}
+		w.table.mu.Unlock()
+	}
+	tx.writes = nil
+	return nil
+}
+
+// Abort rolls back all writes.
+func (tx *Txn) Abort() error {
+	if tx.done {
+		return ErrDone
+	}
+	tx.done = true
+	for _, w := range tx.writes {
+		w.table.mu.Lock()
+		if w.old != nil {
+			w.old.end = tsInfinity
+		}
+		if w.created != nil {
+			// Unlink the created version: it is the chain head (only this
+			// txn could have prepended above it — any other writer would
+			// have hit ErrConflict).
+			w.table.rows[w.rid] = w.created.next
+		}
+		w.table.mu.Unlock()
+	}
+	tx.writes = nil
+	return nil
+}
+
+// Vacuum prunes versions no snapshot at or after horizon can see: committed
+// versions whose end timestamp is below the horizon, and fully deleted
+// chains. It returns the number of versions reclaimed.
+func (t *Table) Vacuum(horizon uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reclaimed := 0
+	for rid, head := range t.rows {
+		// Keep the newest version that is visible at or after the horizon;
+		// cut everything strictly older than the first version whose end
+		// is below the horizon.
+		for v := head; v != nil; v = v.next {
+			if v.next != nil && !isTxnMark(v.next.end) && v.next.end <= horizon {
+				for d := v.next; d != nil; d = d.next {
+					reclaimed++
+				}
+				v.next = nil
+				break
+			}
+		}
+		// A chain whose head is already dead below the horizon can be
+		// replaced by an empty marker chain (RIDs stay allocated).
+		if head != nil && !isTxnMark(head.end) && head.end <= horizon {
+			t.rows[rid] = nil
+			reclaimed++
+		}
+	}
+	return reclaimed
+}

@@ -1,0 +1,248 @@
+package vecstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func table(n int, gen func(i int) (a, b uint64)) map[string][]uint64 {
+	ca, cb := make([]uint64, n), make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ca[i], cb[i] = gen(i)
+	}
+	return map[string][]uint64{"a": ca, "b": cb}
+}
+
+func TestScanCrossesVectorBoundaries(t *testing.T) {
+	n := VectorSize*3 + 17
+	tab := table(n, func(i int) (uint64, uint64) { return uint64(i), uint64(i * 2) })
+	rows := Collect(NewScan(tab, "a", "b"))
+	if len(rows) != n {
+		t.Fatalf("scanned %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if r[0] != uint64(i) || r[1] != uint64(i*2) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestSelectCompacts(t *testing.T) {
+	n := VectorSize * 2
+	tab := table(n, func(i int) (uint64, uint64) { return uint64(i % 10), uint64(i) })
+	sel := &Select{
+		Child: NewScan(tab, "a", "b"),
+		Pred:  func(b *Batch, i int) bool { return b.Cols[0][i] < 3 },
+	}
+	rows := Collect(sel)
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%10 < 3 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r[0] >= 3 {
+			t.Fatalf("unfiltered row %v", r)
+		}
+	}
+}
+
+func TestSelectAllFilteredBatches(t *testing.T) {
+	// Batches that filter to zero rows must be skipped, not emitted.
+	n := VectorSize * 3
+	tab := table(n, func(i int) (uint64, uint64) {
+		if i < VectorSize { // first vector entirely filtered out
+			return 99, uint64(i)
+		}
+		return 1, uint64(i)
+	})
+	sel := &Select{
+		Child: NewScan(tab, "a", "b"),
+		Pred:  func(b *Batch, i int) bool { return b.Cols[0][i] == 1 },
+	}
+	rows := Collect(sel)
+	if len(rows) != n-VectorSize {
+		t.Fatalf("%d rows, want %d", len(rows), n-VectorSize)
+	}
+}
+
+func TestMapComputesColumn(t *testing.T) {
+	tab := table(100, func(i int) (uint64, uint64) { return uint64(i), uint64(i + 1) })
+	m := &Map{
+		Child: NewScan(tab, "a", "b"),
+		Name:  "prod",
+		Fn:    func(b *Batch, i int) uint64 { return b.Cols[0][i] * b.Cols[1][i] },
+	}
+	if !reflect.DeepEqual(m.Schema(), []string{"a", "b", "prod"}) {
+		t.Fatalf("schema = %v", m.Schema())
+	}
+	rows := Collect(m)
+	for _, r := range rows {
+		if r[2] != r[0]*r[1] {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nb, np := 500, VectorSize*2+99
+	bt := table(nb, func(i int) (uint64, uint64) { return uint64(rng.Intn(50)), uint64(i) })
+	pt := table(np, func(i int) (uint64, uint64) { return uint64(rng.Intn(80)), uint64(i + 10000) })
+	join := &HashJoin{
+		Build:        NewScan(bt, "a", "b"),
+		BuildKey:     "a",
+		BuildPayload: []string{"b"},
+		Probe:        NewScan(pt, "a", "b"),
+		ProbeKey:     "a",
+	}
+	if !reflect.DeepEqual(join.Schema(), []string{"a", "b", "b"}) {
+		t.Fatalf("schema = %v", join.Schema())
+	}
+	got := Collect(join)
+	var want [][]uint64
+	for p := 0; p < np; p++ {
+		for b := 0; b < nb; b++ {
+			if pt["a"][p] == bt["a"][b] {
+				want = append(want, []uint64{pt["a"][p], pt["b"][p], bt["b"][b]})
+			}
+		}
+	}
+	sortRows(got)
+	sortRows(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join: %d rows, nested loop: %d rows", len(got), len(want))
+	}
+}
+
+func TestHashJoinSemi(t *testing.T) {
+	bt := table(10, func(i int) (uint64, uint64) { return uint64(i), 0 })
+	pt := table(100, func(i int) (uint64, uint64) { return uint64(i % 25), uint64(i) })
+	join := &HashJoin{
+		Build:    NewScan(bt, "a"),
+		BuildKey: "a",
+		Probe:    NewScan(pt, "a", "b"),
+		ProbeKey: "a",
+		Semi:     true,
+	}
+	rows := Collect(join)
+	want := 0
+	for i := 0; i < 100; i++ {
+		if i%25 < 10 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r[0] >= 10 {
+			t.Fatalf("non-matching row %v", r)
+		}
+	}
+}
+
+func TestHashJoinFanOutAcrossVectors(t *testing.T) {
+	// One probe key with more matches than a vector holds: the join must
+	// pause mid-row and resume, losing nothing.
+	nb := VectorSize + 500
+	bt := table(nb, func(i int) (uint64, uint64) { return 7, uint64(i) })
+	pt := table(3, func(i int) (uint64, uint64) { return 7, uint64(i) })
+	join := &HashJoin{
+		Build:        NewScan(bt, "a", "b"),
+		BuildKey:     "a",
+		BuildPayload: []string{"b"},
+		Probe:        NewScan(pt, "a", "b"),
+		ProbeKey:     "a",
+	}
+	rows := Collect(join)
+	if len(rows) != 3*nb {
+		t.Fatalf("%d rows, want %d", len(rows), 3*nb)
+	}
+	// Every build value must appear exactly 3 times.
+	count := map[uint64]int{}
+	for _, r := range rows {
+		count[r[2]]++
+	}
+	for v, c := range count {
+		if c != 3 {
+			t.Fatalf("build row %d appeared %d times", v, c)
+		}
+	}
+}
+
+func TestHashAgg(t *testing.T) {
+	n := VectorSize*2 + 50
+	tab := table(n, func(i int) (uint64, uint64) { return uint64(i % 7), uint64(i) })
+	agg := &HashAgg{
+		Child:    NewScan(tab, "a", "b"),
+		GroupCol: "a",
+		SumCols:  []string{"b"},
+	}
+	rows := Collect(agg)
+	if len(rows) != 7 {
+		t.Fatalf("%d groups, want 7", len(rows))
+	}
+	want := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		want[uint64(i%7)] += uint64(i)
+	}
+	for _, r := range rows {
+		if want[r[0]] != r[1] {
+			t.Fatalf("group %d = %d, want %d", r[0], r[1], want[r[0]])
+		}
+	}
+}
+
+func TestJoinThenAggPipeline(t *testing.T) {
+	// The classic shape: filter dim, join fact, aggregate.
+	dim := table(50, func(i int) (uint64, uint64) { return uint64(i), uint64(i % 4) })
+	fact := table(5000, func(i int) (uint64, uint64) { return uint64(i % 50), uint64(i % 100) })
+	plan := &HashAgg{
+		Child: &HashJoin{
+			Build: &Select{
+				Child: NewScan(dim, "a", "b"),
+				Pred:  func(b *Batch, i int) bool { return b.Cols[1][i] == 2 },
+			},
+			BuildKey:     "a",
+			BuildPayload: []string{"b"},
+			Probe:        NewScan(fact, "a", "b"),
+			ProbeKey:     "a",
+		},
+		GroupCol: "a",
+		SumCols:  []string{"b"},
+	}
+	rows := Collect(plan)
+	want := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(i % 50)
+		if k%4 == 2 {
+			want[k] += uint64(i % 100)
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if want[r[0]] != r[1] {
+			t.Fatalf("group %d = %d, want %d", r[0], r[1], want[r[0]])
+		}
+	}
+}
+
+func sortRows(rows [][]uint64) {
+	sort.Slice(rows, func(i, j int) bool {
+		for c := range rows[i] {
+			if rows[i][c] != rows[j][c] {
+				return rows[i][c] < rows[j][c]
+			}
+		}
+		return false
+	})
+}

@@ -2,8 +2,15 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|kprime|compression|duplicates|batch|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
+//	          [-workers N] [-morsels M]
+//
+// -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
+// shared worker pool of that size (morsel-driven parallelism); -morsels
+// tunes the per-worker morsel fan-out. The baselines always run
+// single-threaded, and the ablations control their own configuration
+// (the workers ablation sweeps the pool size itself).
 //
 // Absolute numbers will differ from the paper's C/C++ system; the point
 // is to reproduce the shapes: who wins, by roughly what factor, and where
@@ -18,16 +25,20 @@ import (
 	"strings"
 
 	"qppt/internal/bench"
+	"qppt/internal/core"
 	"qppt/internal/ssb"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, kprime, compression, duplicates, batch, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
 	seed := flag.Int64("seed", 42, "data generator seed")
+	workers := flag.Int("workers", 1, "shared worker pool size for the QPPT engine (1 = serial, the paper's mode)")
+	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
 	flag.Parse()
+	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {
@@ -63,7 +74,7 @@ func main() {
 	}
 	if wants("7") {
 		fmt.Printf("=== Figure 7: SSB query performance, SF=%g [ms] ===\n", *sf)
-		rows, err := bench.Figure7(dataset(), *reps)
+		rows, err := bench.Figure7Exec(dataset(), *reps, exec)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +82,7 @@ func main() {
 	}
 	if wants("8") {
 		fmt.Println("=== Figure 8: SSB Q1.1 with and without select-join [ms] ===")
-		rows, err := bench.Figure8(dataset(), *reps)
+		rows, err := bench.Figure8Exec(dataset(), *reps, exec)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +95,15 @@ func main() {
 	}
 	if wants("9") {
 		fmt.Println("=== Figure 9: SSB Q4.1 multi-way join configurations [ms] ===")
-		rows, err := bench.Figure9(dataset(), *reps)
+		rows, err := bench.Figure9Exec(dataset(), *reps, exec)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+	}
+	if wants("workers") {
+		fmt.Println("=== Ablation: shared worker pool size (morsel-driven parallelism, Section 7) [ms] ===")
+		rows, err := bench.AblationWorkers(dataset(), *reps)
 		if err != nil {
 			fatal(err)
 		}

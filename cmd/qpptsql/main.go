@@ -4,6 +4,7 @@
 // Usage:
 //
 //	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
+//	        [-workers N] [-morsels M]
 //
 // Meta commands inside the shell:
 //
@@ -32,6 +33,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-operator statistics")
 	noSJ := flag.Bool("no-select-join", false, "disable composed select-join operators")
 	buffer := flag.Int("buffer", 512, "joinbuffer/selectionbuffer size (1 disables batching)")
+	workers := flag.Int("workers", 1, "shared worker pool size for morsel-driven parallel execution (1 = serial)")
+	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
 	flag.Parse()
 
 	fmt.Printf("loading SSB at SF=%g...\n", *sf)
@@ -78,24 +81,30 @@ func main() {
 				continue
 			}
 			fmt.Println(text)
-			run(planner, text, showStats, *noSJ, *buffer)
+			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels))
 			prompt()
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte(' ')
 		if strings.HasSuffix(line, ";") {
-			run(planner, buf.String(), showStats, *noSJ, *buffer)
+			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels))
 			buf.Reset()
 		}
 		prompt()
 	}
 }
 
-func run(planner *sql.Planner, text string, stats, noSJ bool, buffer int) {
+// exec assembles the execution options from the shell flags.
+func exec(buffer, workers, morsels int) core.Options {
+	return core.Options{BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels}
+}
+
+func run(planner *sql.Planner, text string, stats, noSJ bool, exec core.Options) {
+	exec.CollectStats = stats
 	stmt, err := planner.PlanSQL(text, sql.Options{
 		UseSelectJoin: !noSJ,
-		Exec:          core.Options{CollectStats: stats, BufferSize: buffer},
+		Exec:          exec,
 	})
 	if err != nil {
 		fmt.Println("error:", err)

@@ -1,0 +1,3 @@
+module qppt
+
+go 1.22

@@ -41,6 +41,42 @@ func AblationJoinBuffer(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
 	return out, nil
 }
 
+// AblationWorkers sweeps the shared worker pool size (morsel-driven
+// parallelism, paper Section 7) on the join-heavy Q4.1 and the
+// selection-heavy Q1.1. Workers=1 is the paper's single-threaded mode;
+// larger pools split every operator into work-stealing key-range morsels
+// and merge the partial outputs partition-wise in parallel. On a
+// single-core host the sweep degenerates to measuring scheduling
+// overhead, which is itself worth tracking.
+func AblationWorkers(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
+	var out []QueryTime
+	for _, qid := range []string{"1.1", "4.1"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			var err error
+			ms, rows := timeIt(reps, func() int {
+				r, _, e := ds.RunQPPT(qid, ssb.PlanOptions{
+					UseSelectJoin: true,
+					Exec:          core.Options{Workers: workers},
+				})
+				if e != nil {
+					err = e
+					return 0
+				}
+				return len(r.Rows)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, QueryTime{
+				Query: qid, Engine: EngineQPPT,
+				Config: fmt.Sprintf("workers=%d", workers), Millis: ms, Rows: rows,
+			})
+		}
+	}
+	return out, nil
+}
+
 // A KPrimeRow is one point of the k′ trade-off ablation (paper
 // Section 2.1): higher k′ halves tree depth (faster) but costs memory on
 // sparse key distributions.

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"qppt/internal/core"
 	"qppt/internal/ssb"
 )
 
@@ -77,6 +78,31 @@ func TestQueryFigureHarness(t *testing.T) {
 	}
 	if len(jb) != 4 {
 		t.Fatalf("joinbuffer ablation has %d rows", len(jb))
+	}
+	aw, err := AblationWorkers(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aw) != 8 {
+		t.Fatalf("workers ablation has %d rows", len(aw))
+	}
+	// Worker-pool size must never change a query result.
+	awRows := map[string]int{}
+	for _, r := range aw {
+		if prev, seen := awRows[r.Query]; seen && prev != r.Rows {
+			t.Errorf("Q%s: worker sweep returned %d vs %d rows", r.Query, prev, r.Rows)
+		}
+		awRows[r.Query] = r.Rows
+	}
+	// A parallel Figure 7 run must agree with the serial engines row for row.
+	f7w, err := Figure7Exec(ds, 1, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f7w {
+		if prev, seen := byQuery[r.Query]; seen && prev != r.Rows {
+			t.Errorf("Q%s: workers=4 returned %d rows, serial %d", r.Query, r.Rows, prev)
+		}
 	}
 }
 

@@ -46,9 +46,22 @@ func timeIt(reps int, fn func() int) (float64, int) {
 // queries on the three engines, single-threaded, with QPPT in its default
 // configuration (composed select-joins, unlimited join arity).
 func Figure7(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
+	return Figure7Exec(ds, reps, core.Options{})
+}
+
+// Figure7Exec is Figure7 with explicit execution options for the QPPT
+// engine, so the figure can also be regenerated with the morsel-driven
+// worker pool enabled (the baselines stay single-threaded either way);
+// the QPPT rows record the pool size in their Config.
+func Figure7Exec(ds *ssb.Dataset, reps int, exec core.Options) ([]QueryTime, error) {
 	var out []QueryTime
+	qpptConfig := ""
+	if w := exec.Workers; w > 1 {
+		qpptConfig = fmt.Sprintf("workers=%d", w)
+	}
 	for _, qid := range ssb.QueryIDs {
 		qppt := ssb.DefaultPlanOptions()
+		qppt.Exec = exec
 		var err error
 		ms, rows := timeIt(reps, func() int {
 			res, _, e := ds.RunQPPT(qid, qppt)
@@ -61,7 +74,7 @@ func Figure7(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: Q%s qppt: %w", qid, err)
 		}
-		out = append(out, QueryTime{Query: qid, Engine: EngineQPPT, Millis: ms, Rows: rows})
+		out = append(out, QueryTime{Query: qid, Engine: EngineQPPT, Config: qpptConfig, Millis: ms, Rows: rows})
 
 		ms, rows = timeIt(reps, func() int {
 			res, e := ds.RunVector(qid)
@@ -97,6 +110,12 @@ func Figure7(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
 // separate selection + join-group plan. The paper reports 151 ms vs
 // 1709 ms (~11×) with ~95 % of the separate plan inside the selection.
 func Figure8(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
+	return Figure8Exec(ds, reps, core.Options{})
+}
+
+// Figure8Exec is Figure8 with explicit execution options for the QPPT
+// engine rows (the baselines stay single-threaded).
+func Figure8Exec(ds *ssb.Dataset, reps int, exec core.Options) ([]QueryTime, error) {
 	var out []QueryTime
 	add := func(engine, config string, fn func() (int, error)) error {
 		var err error
@@ -126,13 +145,13 @@ func Figure8(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
 		return nil, err
 	}
 	if err := add(EngineQPPT, "w/ Select-Join", func() (int, error) {
-		r, _, e := ds.RunQPPT("1.1", ssb.PlanOptions{UseSelectJoin: true})
+		r, _, e := ds.RunQPPT("1.1", ssb.PlanOptions{UseSelectJoin: true, Exec: exec})
 		return len(r.Rows), e
 	}); err != nil {
 		return nil, err
 	}
 	if err := add(EngineQPPT, "w/o Select-Join", func() (int, error) {
-		r, _, e := ds.RunQPPT("1.1", ssb.PlanOptions{UseSelectJoin: false})
+		r, _, e := ds.RunQPPT("1.1", ssb.PlanOptions{UseSelectJoin: false, Exec: exec})
 		return len(r.Rows), e
 	}); err != nil {
 		return nil, err
@@ -168,6 +187,12 @@ func Figure8SelectionShare(ds *ssb.Dataset) (float64, error) {
 // joins. The paper reports monotone improvement with the 2→3-way step
 // the largest (4939 → 1595 → 1091 → 842 ms).
 func Figure9(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
+	return Figure9Exec(ds, reps, core.Options{})
+}
+
+// Figure9Exec is Figure9 with explicit execution options for the QPPT
+// engine rows (the baselines stay single-threaded).
+func Figure9Exec(ds *ssb.Dataset, reps int, exec core.Options) ([]QueryTime, error) {
 	var out []QueryTime
 	var err error
 	ms, rows := timeIt(reps, func() int {
@@ -197,7 +222,7 @@ func Figure9(ds *ssb.Dataset, reps int) ([]QueryTime, error) {
 	for arity := 5; arity >= 2; arity-- {
 		arity := arity
 		ms, rows = timeIt(reps, func() int {
-			r, _, e := ds.RunQPPT("4.1", ssb.PlanOptions{JoinArity: arity})
+			r, _, e := ds.RunQPPT("4.1", ssb.PlanOptions{JoinArity: arity, Exec: exec})
 			if e != nil {
 				err = e
 				return 0

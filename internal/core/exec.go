@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -10,29 +11,66 @@ import (
 )
 
 // Options tune plan execution; they are the knobs the paper's demonstrator
-// exposes (Appendix A).
+// exposes (Appendix A) plus the morsel-driven parallelism configuration.
 type Options struct {
 	// BufferSize is the joinbuffer/selectionbuffer size: how many
 	// combinations are buffered before a batched index operation is
 	// issued. 1 disables batching (scalar tuple-at-a-time); the
 	// demonstrator offers 1, 64, 512 and 2048.
 	BufferSize int
-	// Parallel runs independent plan subtrees concurrently (e.g. the
-	// two dimension selections of SSB Q2.3). The paper's evaluation is
-	// single-threaded, so this is off by default.
-	Parallel bool
-	// Workers enables intra-operator parallelism (paper Section 7):
-	// each operator's main scan is split into this many disjoint
-	// key-space partitions processed concurrently, with per-worker
-	// partial output indexes merged at the end. 0 or 1 = off.
+	// Workers sizes the plan-wide shared worker pool (scheduler.go). The
+	// same pool serves inter-operator parallelism (independent plan
+	// branches run concurrently) and intra-operator parallelism
+	// (operators split their scans into work-stealing key-range morsels,
+	// paper Section 7), so goroutine count is bounded by Workers no
+	// matter how many operators run at once. 0 or 1 = serial, the
+	// paper's evaluation mode.
+	//
+	// Results are schedule-independent: keys, per-key row multisets and
+	// folded aggregates are identical to serial execution. The one
+	// exception is the *order* of duplicate rows under a single key of a
+	// non-folding output, which depends on which worker claimed which
+	// morsel; consumers of plain outputs must not rely on intra-key row
+	// order when Workers > 1.
 	Workers int
+	// MorselsPerWorker is the morsel fan-out factor: each parallel
+	// operator splits its key space into Workers × MorselsPerWorker
+	// morsels. More morsels resist skew better but leave more partial
+	// outputs to merge. Default DefaultMorselsPerWorker.
+	MorselsPerWorker int
+	// Parallel is deprecated: a Workers pool > 1 already runs
+	// independent plan subtrees concurrently. Setting Parallel without
+	// Workers sizes the pool to GOMAXPROCS for compatibility with the
+	// old inter-operator-only mode.
+	Parallel bool
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
+}
+
+// poolWorkers resolves the deprecated Workers/Parallel split into the one
+// pool size the scheduler uses.
+func (o Options) poolWorkers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	if o.Workers < 1 && o.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// morselsPerWorker resolves the morsel fan-out factor.
+func (o Options) morselsPerWorker() int {
+	if o.MorselsPerWorker < 1 {
+		return DefaultMorselsPerWorker
+	}
+	return o.MorselsPerWorker
 }
 
 // ExecContext carries execution state for one operator invocation.
 type ExecContext struct {
 	opts    Options
+	sched   *Scheduler
 	mu      sync.Mutex // guards opStats under intra-operator parallelism
 	opStats *OperatorStats
 }
@@ -44,19 +82,24 @@ func (ec *ExecContext) bufferSize() int {
 	return ec.opts.BufferSize
 }
 
-func (ec *ExecContext) workers() int {
-	if ec.opts.Workers < 1 {
-		return 1
+// scheduler returns the plan's shared pool, creating a serial one for
+// contexts constructed outside Plan.Run (tests, ad-hoc operator calls).
+func (ec *ExecContext) scheduler() *Scheduler {
+	if ec.sched == nil {
+		ec.sched = NewScheduler(ec.opts.poolWorkers())
 	}
-	return ec.opts.Workers
+	return ec.sched
 }
+
+func (ec *ExecContext) morselsPerWorker() int { return ec.opts.morselsPerWorker() }
 
 // DefaultBufferSize is the joinbuffer size used when Options does not set
 // one; it matches the middle setting of the paper's demonstrator.
 const DefaultBufferSize = 512
 
-// noteSink folds pipeline counters into the operator statistics,
-// accumulating across partition workers.
+// noteSink folds one worker pipeline's counters into the operator
+// statistics: each pipeline is one pool worker's partial, so the call also
+// counts the workers and morsels that actually executed.
 func (ec *ExecContext) noteSink(p *pipeline) {
 	if ec.opStats == nil {
 		return
@@ -65,6 +108,8 @@ func (ec *ExecContext) noteSink(p *pipeline) {
 	ec.opStats.IndexTime += p.snk.insertTime
 	ec.opStats.TuplesIndexed += p.snk.inserted
 	ec.opStats.ProbeLookups += p.lookups
+	ec.opStats.Workers++
+	ec.opStats.Morsels += p.morsels
 	ec.mu.Unlock()
 }
 
@@ -84,6 +129,11 @@ type OperatorStats struct {
 	// lookups issued through the joinbuffer.
 	TuplesIndexed int
 	ProbeLookups  int
+	// Workers is the number of pool workers that contributed a partial
+	// output; Morsels the number of key-range morsels they processed
+	// (1/1 for serial execution).
+	Workers int
+	Morsels int
 	// OutRows/OutKeys/OutBytes describe the output indexed table.
 	OutRows  int
 	OutKeys  int
@@ -91,21 +141,30 @@ type OperatorStats struct {
 }
 
 // PlanStats aggregates the statistics of one plan execution in
-// post-order (children before parents).
+// post-order (children before parents), plus the parallelism
+// configuration the plan ran with, so benchmark output records it.
 type PlanStats struct {
 	Ops   []OperatorStats
 	Total time.Duration
+	// Workers is the shared pool size; MorselsPerWorker the morsel
+	// fan-out factor (1/1 for serial execution).
+	Workers          int
+	MorselsPerWorker int
 }
 
 func (ps *PlanStats) String() string {
 	if ps == nil {
 		return "(no stats)"
 	}
-	s := fmt.Sprintf("total %v\n", ps.Total)
+	s := fmt.Sprintf("total %v (pool: %d workers × %d morsels)\n", ps.Total, ps.Workers, ps.MorselsPerWorker)
 	for _, op := range ps.Ops {
-		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B\n",
+		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B",
 			op.Label, op.Time.Round(time.Microsecond), op.IndexTime.Round(time.Microsecond),
 			op.OutRows, op.OutKeys, op.OutBytes)
+		if op.Workers > 1 {
+			s += fmt.Sprintf("  [%d workers, %d morsels]", op.Workers, op.Morsels)
+		}
+		s += "\n"
 	}
 	return s
 }
@@ -119,10 +178,17 @@ type Plan struct {
 // result index, already grouped and sorted by its key) plus statistics
 // when requested.
 func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
-	ex := &executor{opts: opts, memo: make(map[Operator]*memoEntry)}
+	ex := &executor{
+		opts:  opts,
+		sched: NewScheduler(opts.poolWorkers()),
+		memo:  make(map[Operator]*memoEntry),
+	}
 	var stats *PlanStats
 	if opts.CollectStats {
-		stats = &PlanStats{}
+		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1}
+		if ex.sched.parallel() {
+			stats.MorselsPerWorker = opts.morselsPerWorker()
+		}
 	}
 	t0 := time.Now()
 	out, err := ex.resolve(pl.Root, stats)
@@ -136,11 +202,13 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 }
 
 // executor memoizes operator outputs so DAG-shaped plans run each operator
-// once, and optionally runs independent children in parallel.
+// once, and resolves independent children concurrently on the plan's
+// shared worker pool.
 type executor struct {
-	opts Options
-	mu   sync.Mutex
-	memo map[Operator]*memoEntry
+	opts  Options
+	sched *Scheduler
+	mu    sync.Mutex
+	memo  map[Operator]*memoEntry
 }
 
 type memoEntry struct {
@@ -166,22 +234,23 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 	e.once.Do(func() {
 		children := op.Children()
 		inputs := make([]*IndexedTable, len(children))
-		if ex.opts.Parallel && len(children) > 1 {
-			var wg sync.WaitGroup
-			errs := make([]error, len(children))
+		if ex.sched.parallel() && len(children) > 1 {
+			// Independent subtrees resolve concurrently on the shared
+			// pool; Fork runs on pool workers when they are idle and
+			// inline otherwise, so the goroutine count stays bounded by
+			// the pool size however deep the plan nests.
+			tasks := make([]func() error, len(children))
 			for i, c := range children {
-				wg.Add(1)
-				go func(i int, c Operator) {
-					defer wg.Done()
-					inputs[i], errs[i] = ex.resolve(c, stats)
-				}(i, c)
-			}
-			wg.Wait()
-			for _, err := range errs {
-				if err != nil {
-					e.err = err
-					return
+				i, c := i, c
+				tasks[i] = func() error {
+					in, err := ex.resolve(c, stats)
+					inputs[i] = in
+					return err
 				}
+			}
+			if err := ex.sched.Fork(tasks...); err != nil {
+				e.err = err
+				return
 			}
 		} else {
 			for i, c := range children {
@@ -193,7 +262,7 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 				inputs[i] = in
 			}
 		}
-		ec := &ExecContext{opts: ex.opts}
+		ec := &ExecContext{opts: ex.opts, sched: ex.sched}
 		if stats != nil {
 			if _, isBase := op.(*Base); !isBase {
 				e.st = &OperatorStats{Label: op.Label()}

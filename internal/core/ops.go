@@ -69,43 +69,35 @@ func (s *Selection) CtxOf(input *IndexedTable, attr string) int {
 }
 
 func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	if w := ec.workers(); w > 1 {
-		return runPartitioned(&s.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
-			return s.runPart(ec, inputs, spec, part, w)
-		})
+	in := inputs[0]
+	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
+		p := newPipeline(newCtxLayout(in), ec.bufferSize())
+		p.residual = s.Residual
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, out, nil
 	}
-	return s.runPart(ec, inputs, &s.Out, 0, 1)
+	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+		pred := s.Pred
+		if !whole {
+			pred = intersectPred(pred, lo, hi)
+		}
+		feedScan(p, in, pred)
+	}
+	bounds := func() (uint64, uint64, bool) { return idxBounds(in.Idx) }
+	return runMorsels(ec, &s.Out, bounds, newPart, scan)
 }
 
-// runPart executes the selection over key partition part of parts.
-func (s *Selection) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
-	in := inputs[0]
-	layout := newCtxLayout(in)
-	p := newPipeline(layout, ec.bufferSize())
-	p.residual = s.Residual
-	out, err := p.setSink(spec)
-	if err != nil {
-		return nil, err
-	}
-	pred := s.Pred
-	if parts > 1 {
-		lo, okL := in.Idx.Min()
-		hi, _ := in.Idx.Max()
-		if !okL {
-			p.finish()
-			return out, nil
-		}
-		pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
-		if !ok {
-			p.finish()
-			return out, nil
-		}
-		pred = intersectPred(pred, pLo, pHi)
-	}
+// feedScan scans input 0's qualifying key ranges into the pipeline. A nil
+// predicate scans everything through the plain iterator (the serial fast
+// path); morsel scans pass their pre-clipped ranges.
+func feedScan(p *pipeline, in *IndexedTable, pred KeyPred) {
 	comp := in.Key.Composer()
-	ctx := make([]uint64, layout.width)
+	ctx := make([]uint64, p.layout.width)
 	scan := func(k uint64, vals *duplist.List) bool {
-		layout.fillKey(ctx, 0, k, comp)
+		p.layout.fillKey(ctx, 0, k, comp)
 		if len(in.Cols) == 0 {
 			for n := 0; n < vals.Len(); n++ {
 				p.feed(ctx)
@@ -113,7 +105,7 @@ func (s *Selection) runPart(ec *ExecContext, inputs []*IndexedTable, spec *Outpu
 			return true
 		}
 		vals.Scan(func(row []uint64) bool {
-			layout.fillRow(ctx, 0, row)
+			p.layout.fillRow(ctx, 0, row)
 			p.feed(ctx)
 			return true
 		})
@@ -121,14 +113,11 @@ func (s *Selection) runPart(ec *ExecContext, inputs []*IndexedTable, spec *Outpu
 	}
 	if pred == nil {
 		in.Idx.Iterate(scan)
-	} else {
-		for _, r := range pred {
-			in.Idx.Range(r.Lo, r.Hi, scan)
-		}
+		return
 	}
-	p.finish()
-	ec.noteSink(p)
-	return out, nil
+	for _, r := range pred {
+		in.Idx.Range(r.Lo, r.Hi, scan)
+	}
 }
 
 // An Assist attaches one assisting index to a composed join (paper
@@ -173,58 +162,56 @@ func (j *Join) Children() []Operator {
 }
 
 func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	if w := ec.workers(); w > 1 {
-		return runPartitioned(&j.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
-			return j.runPart(ec, inputs, spec, part, w)
-		})
-	}
-	return j.runPart(ec, inputs, &j.Out, 0, 1)
-}
-
-// runPart executes the join over key partition part of parts of the
-// synchronous scan.
-func (j *Join) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
 	left, right := inputs[0], inputs[1]
-	layout := newCtxLayout(inputs...)
-	p := newPipeline(layout, ec.bufferSize())
-	for i, a := range j.Assists {
-		off, err := layout.resolve(a.ProbeWith)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
-		}
-		p.addProbe(2+i, off)
-	}
-	out, err := p.setSink(spec)
-	if err != nil {
-		return nil, err
-	}
-	lComp, rComp := left.Key.Composer(), right.Key.Composer()
-	ctx := make([]uint64, layout.width)
-	feedPair := func(ctx []uint64) {
-		if j.Residual == nil || j.Residual(ctx) {
-			p.feedStage(0, ctx)
-		}
-	}
-	SyncScanPart(left.Idx, right.Idx, part, parts, func(k uint64, lv, rv *duplist.List) bool {
-		layout.fillKey(ctx, 0, k, lComp)
-		layout.fillKey(ctx, 1, k, rComp)
-		// Cross product of the matching content nodes, nested-loop style.
-		if len(left.Cols) == 0 {
-			for n := 0; n < lv.Len(); n++ {
-				crossRight(layout, ctx, right, rv, feedPair)
+	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
+		layout := newCtxLayout(inputs...)
+		p := newPipeline(layout, ec.bufferSize())
+		for i, a := range j.Assists {
+			off, err := layout.resolve(a.ProbeWith)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
 			}
+			p.addProbe(2+i, off)
+		}
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, out, nil
+	}
+	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+		lComp, rComp := left.Key.Composer(), right.Key.Composer()
+		ctx := make([]uint64, p.layout.width)
+		feedPair := func(ctx []uint64) {
+			if j.Residual == nil || j.Residual(ctx) {
+				p.feedStage(0, ctx)
+			}
+		}
+		visit := func(k uint64, lv, rv *duplist.List) bool {
+			p.layout.fillKey(ctx, 0, k, lComp)
+			p.layout.fillKey(ctx, 1, k, rComp)
+			// Cross product of the matching content nodes, nested-loop style.
+			if len(left.Cols) == 0 {
+				for n := 0; n < lv.Len(); n++ {
+					crossRight(p.layout, ctx, right, rv, feedPair)
+				}
+				return true
+			}
+			lv.Scan(func(lrow []uint64) bool {
+				p.layout.fillRow(ctx, 0, lrow)
+				crossRight(p.layout, ctx, right, rv, feedPair)
+				return true
+			})
 			return true
 		}
-		lv.Scan(func(lrow []uint64) bool {
-			layout.fillRow(ctx, 0, lrow)
-			crossRight(layout, ctx, right, rv, feedPair)
-			return true
-		})
-		return true
-	})
-	p.finish()
-	ec.noteSink(p)
-	return out, nil
+		if whole {
+			SyncScan(left.Idx, right.Idx, visit)
+		} else {
+			syncScanKeyRange(left.Idx, right.Idx, lo, hi, visit)
+		}
+	}
+	bounds := func() (uint64, uint64, bool) { return syncScanBounds(left.Idx, right.Idx) }
+	return runMorsels(ec, &j.Out, bounds, newPart, scan)
 }
 
 func crossRight(layout ctxLayout, ctx []uint64, right *IndexedTable, rv *duplist.List, feed func([]uint64)) {
@@ -284,80 +271,39 @@ func (sj *SelectJoin) Children() []Operator {
 }
 
 func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	if w := ec.workers(); w > 1 {
-		return runPartitioned(&sj.Out, w, func(part int, spec *OutputSpec) (*IndexedTable, error) {
-			return sj.runPart(ec, inputs, spec, part, w)
-		})
-	}
-	return sj.runPart(ec, inputs, &sj.Out, 0, 1)
-}
-
-// runPart executes the select-join over key partition part of parts of
-// the selection scan.
-func (sj *SelectJoin) runPart(ec *ExecContext, inputs []*IndexedTable, spec *OutputSpec, part, parts int) (*IndexedTable, error) {
 	sel := inputs[0]
-	layout := newCtxLayout(inputs...)
-	p := newPipeline(layout, ec.bufferSize())
-	mainOff, err := layout.resolve(sj.ProbeMainWith)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
-	}
-	p.addProbe(1, mainOff)
-	for i, a := range sj.Assists {
-		off, err := layout.resolve(a.ProbeWith)
+	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
+		layout := newCtxLayout(inputs...)
+		p := newPipeline(layout, ec.bufferSize())
+		mainOff, err := layout.resolve(sj.ProbeMainWith)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s assist %d: %w", sj.Label(), i, err)
+			return nil, nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
 		}
-		p.addProbe(2+i, off)
-	}
-	out, err := p.setSink(spec)
-	if err != nil {
-		return nil, err
-	}
-	p.residual = sj.Residual
-	p.setFilter(1, sj.MainResidual)
-	pred := sj.Pred
-	if parts > 1 {
-		lo, okL := sel.Idx.Min()
-		hi, _ := sel.Idx.Max()
-		if !okL {
-			p.finish()
-			return out, nil
-		}
-		pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
-		if !ok {
-			p.finish()
-			return out, nil
-		}
-		pred = intersectPred(pred, pLo, pHi)
-	}
-	comp := sel.Key.Composer()
-	ctx := make([]uint64, layout.width)
-	scan := func(k uint64, vals *duplist.List) bool {
-		layout.fillKey(ctx, 0, k, comp)
-		if len(sel.Cols) == 0 {
-			for n := 0; n < vals.Len(); n++ {
-				p.feed(ctx)
+		p.addProbe(1, mainOff)
+		for i, a := range sj.Assists {
+			off, err := layout.resolve(a.ProbeWith)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s assist %d: %w", sj.Label(), i, err)
 			}
-			return true
+			p.addProbe(2+i, off)
 		}
-		vals.Scan(func(row []uint64) bool {
-			layout.fillRow(ctx, 0, row)
-			p.feed(ctx)
-			return true
-		})
-		return true
-	}
-	if pred == nil {
-		sel.Idx.Iterate(scan)
-	} else {
-		for _, r := range pred {
-			sel.Idx.Range(r.Lo, r.Hi, scan)
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
 		}
+		p.residual = sj.Residual
+		p.setFilter(1, sj.MainResidual)
+		return p, out, nil
 	}
-	p.finish()
-	ec.noteSink(p)
-	return out, nil
+	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+		pred := sj.Pred
+		if !whole {
+			pred = intersectPred(pred, lo, hi)
+		}
+		feedScan(p, sel, pred)
+	}
+	bounds := func() (uint64, uint64, bool) { return idxBounds(sel.Idx) }
+	return runMorsels(ec, &sj.Out, bounds, newPart, scan)
 }
 
 // Intersect is the set intersection operator used when conjunctive

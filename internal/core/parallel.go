@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
@@ -13,11 +11,17 @@ import (
 // The paper identifies the prefix tree's deterministic, unbalanced shape
 // as the enabler for intra-operator parallelism: because a key's position
 // is fixed, the tree splits into disjoint subtrees by key range, and no
-// rebalancing can ever move data between partitions mid-scan. Workers scan
-// disjoint key-space partitions of the operator's main input, each builds
-// a private partial output index, and the partials are merged by
-// re-inserting (the aggregation fold makes merged groups exact for
-// associative aggregates such as SUM and COUNT).
+// rebalancing can ever move data between partitions mid-scan.
+//
+// Execution is morsel-driven (see scheduler.go): the operator's input key
+// space is split into many small morsels that idle pool workers steal.
+// Each pool worker scans its morsels into a private partial output index,
+// and the partials are combined by a parallel partition-wise merge: the
+// *output* key space is split into disjoint ranges and all partials are
+// merged per range concurrently — safe because a key's position in the
+// prefix tree is deterministic, so disjoint output ranges never share a
+// subtree. Aggregating outputs merge exactly (the fold is applied again
+// on insert); plain outputs concatenate their duplicate rows.
 //
 // Operators opt in through Options.Workers > 1; the default (and the
 // paper's evaluation mode) stays single-threaded.
@@ -25,7 +29,8 @@ import (
 // partitionBounds splits the key space [lo, hi] into `parts` contiguous
 // chunks and returns the bounds of chunk `part` (0-based). The split is by
 // key *space*, matching the subtree partitioning of an unbalanced trie:
-// chunk boundaries align with subtree boundaries, never with data.
+// chunk boundaries align with subtree boundaries, never with data. The
+// same function produces both the scan morsels and the merge partitions.
 func partitionBounds(lo, hi uint64, part, parts int) (uint64, uint64, bool) {
 	if lo > hi || parts <= 0 || part >= parts {
 		return 0, 0, false
@@ -43,7 +48,7 @@ func partitionBounds(lo, hi uint64, part, parts int) (uint64, uint64, bool) {
 	}
 	step := span / uint64(parts)
 	if step == 0 {
-		// Fewer keys than workers: give everything to the first chunk.
+		// Fewer keys than morsels: give everything to the first chunk.
 		if part == 0 {
 			return lo, hi, true
 		}
@@ -75,36 +80,20 @@ func intersectPred(pred KeyPred, lo, hi uint64) KeyPred {
 	return out
 }
 
-// SyncScanPart runs the synchronous index scan restricted to worker
-// `part` of `parts` key-space partitions. Partitions are disjoint and
-// cover everything, so the union over all parts visits exactly the keys
-// SyncScan would.
-func SyncScanPart(a, b Index, part, parts int, visit func(key uint64, va, vb *duplist.List) bool) bool {
-	if parts <= 1 {
-		return SyncScan(a, b, visit)
-	}
-	aLo, aOK := a.Min()
-	bLo, bOK := b.Min()
-	if !aOK || !bOK {
-		return true
-	}
-	aHi, _ := a.Max()
-	bHi, _ := b.Max()
-	lo, hi := max(aLo, bLo), min(aHi, bHi)
-	pLo, pHi, ok := partitionBounds(lo, hi, part, parts)
-	if !ok {
-		return true
-	}
+// syncScanKeyRange runs the synchronous index scan restricted to keys in
+// [lo, hi], using the native skip-scan kernels where the index kinds allow
+// them and the iterate-small/probe-large fallback otherwise.
+func syncScanKeyRange(a, b Index, lo, hi uint64, visit func(key uint64, va, vb *duplist.List) bool) bool {
 	switch ai := a.(type) {
 	case ptIndex:
 		if bi, isPT := b.(ptIndex); isPT && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
-			return prefixtree.SyncScanRange(ai.t, bi.t, pLo, pHi, func(la, lb *prefixtree.Leaf) bool {
+			return prefixtree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *prefixtree.Leaf) bool {
 				return visit(la.Key, &la.Vals, &lb.Vals)
 			})
 		}
 	case kissIndex:
 		if bi, isKiss := b.(kissIndex); isKiss {
-			return kisstree.SyncScanRange(ai.t, bi.t, pLo, pHi, func(la, lb *kisstree.Leaf) bool {
+			return kisstree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *kisstree.Leaf) bool {
 				return visit(la.Key, &la.Vals, &lb.Vals)
 			})
 		}
@@ -117,7 +106,7 @@ func SyncScanPart(a, b Index, part, parts int, visit func(key uint64, va, vb *du
 		small, large = b, a
 		swapped = true
 	}
-	return small.Range(pLo, pHi, func(key uint64, vs *duplist.List) bool {
+	return small.Range(lo, hi, func(key uint64, vs *duplist.List) bool {
 		vl := large.Lookup(key)
 		if vl == nil {
 			return true
@@ -129,18 +118,122 @@ func SyncScanPart(a, b Index, part, parts int, visit func(key uint64, va, vb *du
 	})
 }
 
-// mergePartials folds per-worker partial outputs into the final output
-// index. Aggregating outputs merge exactly because the fold is applied
-// again on insert; plain outputs concatenate their duplicate rows.
-func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
-	idx := NewIndex(IndexConfig{
-		KeyBits:         spec.Key.TotalBits(),
-		PayloadWidth:    len(spec.Cols),
-		Fold:            spec.Fold,
-		ForcePrefixTree: spec.ForcePrefixTree,
-		CompressKISS:    spec.CompressKISS,
-		PrefixLen:       spec.PrefixLen,
+// syncScanBounds reports the key interval both indexes can contribute to,
+// ok == false when either index is empty or the intervals are disjoint.
+func syncScanBounds(a, b Index) (uint64, uint64, bool) {
+	aLo, aOK := a.Min()
+	bLo, bOK := b.Min()
+	if !aOK || !bOK {
+		return 0, 0, false
+	}
+	aHi, _ := a.Max()
+	bHi, _ := b.Max()
+	lo, hi := max(aLo, bLo), min(aHi, bHi)
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// idxBounds reports an index's key interval, ok == false when empty.
+func idxBounds(idx Index) (uint64, uint64, bool) {
+	lo, ok := idx.Min()
+	if !ok {
+		return 0, 0, false
+	}
+	hi, _ := idx.Max()
+	return lo, hi, true
+}
+
+// keySpaceMax is the largest representable key for a key width.
+func keySpaceMax(bits uint) uint64 {
+	if bits == 0 || bits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<bits - 1
+}
+
+// runMorsels drives one operator's scan as work-stealing morsels on the
+// plan's shared pool. newPart builds a fresh pipeline + output table pair
+// (one per pool worker, created lazily when the worker claims its first
+// non-empty morsel); scan feeds the input keys in [lo, hi] through the
+// worker's pipeline (whole == true means the morsel covers the full input,
+// letting the operator keep its unclipped fast path). The per-worker
+// partial outputs are then combined with the parallel partition-wise
+// merge. With a single worker the lone partial is the output itself and
+// execution degenerates to the paper's single-threaded mode.
+func runMorsels(ec *ExecContext, spec *OutputSpec,
+	bounds func() (uint64, uint64, bool),
+	newPart func(spec *OutputSpec) (*pipeline, *IndexedTable, error),
+	scan func(p *pipeline, lo, hi uint64, whole bool),
+) (*IndexedTable, error) {
+	sched := ec.scheduler()
+	empty := func() (*IndexedTable, error) {
+		p, out, err := newPart(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.finish()
+		ec.noteSink(p)
+		return out, nil
+	}
+	lo, hi, ok := bounds()
+	if !ok {
+		return empty()
+	}
+	workers := sched.Workers()
+	morsels := 1
+	if workers > 1 {
+		morsels = workers * ec.morselsPerWorker()
+	}
+	pipes := make([]*pipeline, workers)
+	outs := make([]*IndexedTable, workers)
+	err := sched.ForEachWorker(morsels, func(w, m int) error {
+		mLo, mHi, ok := partitionBounds(lo, hi, m, morsels)
+		if !ok {
+			return nil
+		}
+		p := pipes[w]
+		if p == nil {
+			specCopy := *spec // private sink per worker partial
+			var err error
+			p, outs[w], err = newPart(&specCopy)
+			if err != nil {
+				return err
+			}
+			pipes[w] = p
+		}
+		scan(p, mLo, mHi, morsels == 1)
+		p.morsels++
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	var partials []*IndexedTable
+	for w, p := range pipes {
+		if p == nil {
+			continue
+		}
+		p.finish()
+		ec.noteSink(p)
+		partials = append(partials, outs[w])
+	}
+	switch len(partials) {
+	case 0:
+		return empty()
+	case 1:
+		// One worker claimed every non-empty morsel: its partial already is
+		// the complete output.
+		return partials[0], nil
+	}
+	return mergePartialsParallel(ec, spec, partials), nil
+}
+
+// mergeRangeInto folds the [lo, hi] slice of every partial into idx, in
+// partial order. Aggregating outputs merge exactly because the fold is
+// applied again on insert; plain outputs concatenate their duplicate rows.
+func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, hi uint64) {
 	keys := make([]uint64, 0, DefaultBufferSize)
 	rows := make([][]uint64, 0, DefaultBufferSize)
 	flush := func() {
@@ -155,7 +248,7 @@ func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
 		keys, rows = keys[:0], rows[:0]
 	}
 	for _, p := range partials {
-		p.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+		p.Idx.Range(lo, hi, func(k uint64, vals *duplist.List) bool {
 			if len(spec.Cols) == 0 {
 				for n := 0; n < vals.Len(); n++ {
 					keys = append(keys, k)
@@ -178,28 +271,95 @@ func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
 		flush() // rows alias partial memory; flush before moving on
 	}
 	flush()
+}
+
+// newOutputIndex creates the output index structure an OutputSpec asks for.
+func newOutputIndex(spec *OutputSpec) Index {
+	return NewIndex(IndexConfig{
+		KeyBits:         spec.Key.TotalBits(),
+		PayloadWidth:    len(spec.Cols),
+		Fold:            spec.Fold,
+		ForcePrefixTree: spec.ForcePrefixTree,
+		CompressKISS:    spec.CompressKISS,
+		PrefixLen:       spec.PrefixLen,
+	})
+}
+
+// mergePartials is the sequential merge baseline: it folds per-worker
+// partial outputs into one final output index by re-insertion, scanning
+// the partials one after another over the full key space.
+func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
+	idx := newOutputIndex(spec)
+	mergeRangeInto(idx, spec, partials, 0, keySpaceMax(spec.Key.TotalBits()))
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx)
 }
 
-// runPartitioned executes `parts` workers, each producing a partial output
-// through runPart(part, spec), and merges the partials.
-func runPartitioned(spec *OutputSpec, parts int, runPart func(part int, spec *OutputSpec) (*IndexedTable, error)) (*IndexedTable, error) {
-	partials := make([]*IndexedTable, parts)
-	errs := make([]error, parts)
-	var wg sync.WaitGroup
-	for w := 0; w < parts; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			specCopy := *spec // private sink per worker
-			partials[w], errs[w] = runPart(w, &specCopy)
-		}(w)
+// parallelMergeMinKeys gates the parallel merge: below this many output
+// rows the sequential re-insert wins on setup cost.
+const parallelMergeMinKeys = 4096
+
+// mergePartialsParallel is the parallel partition-wise merge: it splits
+// the output key space into disjoint ranges (one per merge task, aligned
+// to prefix-subtree boundaries like the scan morsels) and merges all
+// partials per range concurrently on the shared pool, producing a
+// range-sharded output index. Disjoint output ranges never touch the same
+// subtree, so the per-range merge tasks need no synchronization.
+func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
+	sched := ec.scheduler()
+	total := 0
+	for _, p := range partials {
+		total += p.Idx.Rows()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if !sched.parallel() || total < parallelMergeMinKeys {
+		return mergePartials(spec, partials)
+	}
+	var lo, hi uint64
+	any := false
+	for _, p := range partials {
+		l, ok := p.Idx.Min()
+		if !ok {
+			continue
 		}
+		h, _ := p.Idx.Max()
+		if !any || l < lo {
+			lo = l
+		}
+		if !any || h > hi {
+			hi = h
+		}
+		any = true
 	}
-	return mergePartials(spec, partials), nil
+	if !any {
+		return mergePartials(spec, partials)
+	}
+	// Two ranges per worker give the claiming loops room to balance ranges
+	// of uneven density without fragmenting the output into many shards.
+	parts := sched.Workers() * 2
+	var los, his []uint64
+	for r := 0; r < parts; r++ {
+		rLo, rHi, ok := partitionBounds(lo, hi, r, parts)
+		if !ok {
+			continue
+		}
+		los = append(los, rLo)
+		his = append(his, rHi)
+	}
+	if len(los) < 2 {
+		return mergePartials(spec, partials)
+	}
+	shards := make([]Index, len(los))
+	// ForEachWorker cannot fail here (the body returns nil), so the error
+	// is discarded.
+	_ = sched.ForEachWorker(len(shards), func(_, r int) error {
+		idx := newOutputIndex(spec)
+		mergeRangeInto(idx, spec, partials, los[r], his[r])
+		shards[r] = idx
+		return nil
+	})
+	// Extend the edge shards so the sharded index routes the full key
+	// space, not just the observed interval.
+	los[0] = 0
+	his[len(his)-1] = keySpaceMax(spec.Key.TotalBits())
+	sh := newShardedIndex(shards, los, his, spec.Key.TotalBits())
+	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, sh)
 }

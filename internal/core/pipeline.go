@@ -120,7 +120,12 @@ type compiledExpr struct {
 	fn  func(ctx []uint64) uint64
 }
 
-// A pipeline ties the stages together for one operator execution.
+// A pipeline ties the stages together for one operator execution. Under
+// morsel-driven parallelism each pool worker owns one pipeline (its
+// private partial output), scans all the morsels it claims through it,
+// and the sink accounting — insert time, tuples indexed, probe lookups,
+// morsels processed — is folded into the operator statistics per worker
+// by ExecContext.noteSink.
 type pipeline struct {
 	layout   ctxLayout
 	residual func(ctx []uint64) bool
@@ -133,6 +138,7 @@ type pipeline struct {
 	snk     *sink
 	bufSize int
 	lookups int // probe-stage lookups issued (stats)
+	morsels int // key-range morsels scanned through this pipeline (stats)
 }
 
 // setFilter installs a combination filter at the entry of stage i.
@@ -192,14 +198,7 @@ func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
 		}
 		s.exprs = append(s.exprs, compiledExpr{off: off})
 	}
-	s.out = NewIndex(IndexConfig{
-		KeyBits:         spec.Key.TotalBits(),
-		PayloadWidth:    len(spec.Cols),
-		Fold:            spec.Fold,
-		ForcePrefixTree: spec.ForcePrefixTree,
-		CompressKISS:    spec.CompressKISS,
-		PrefixLen:       spec.PrefixLen,
-	})
+	s.out = newOutputIndex(spec)
 	p.snk = s
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, s.out), nil
 }

@@ -238,8 +238,11 @@ func (b *builder) finish(plan *core.Plan) (*Statement, error) {
 	return s, nil
 }
 
-// Run executes the statement, returning ordered rows and, when requested
-// via Options.Exec.CollectStats, the per-operator statistics.
+// Run executes the statement on the options it was planned with: the plan
+// allocates a shared worker pool of Options.Exec.Workers goroutines
+// (serial when unset) and, when requested via Options.Exec.CollectStats,
+// returns per-operator statistics including the worker/morsel counts each
+// operator executed with.
 func (s *Statement) Run() (*Rows, *core.PlanStats, error) {
 	out, stats, err := s.Plan.Run(s.opts.Exec)
 	if err != nil {

@@ -13,7 +13,11 @@ type Options struct {
 	// UseSelectJoin fuses the most selective dimension selection into
 	// the star join (paper Section 4.3).
 	UseSelectJoin bool
-	// Exec carries execution options (joinbuffer size, stats, parallel).
+	// Exec carries execution options: joinbuffer size, statistics, and
+	// the morsel-driven parallelism knobs (Exec.Workers sizes the
+	// plan-wide shared worker pool, Exec.MorselsPerWorker the morsel
+	// fan-out; see core.Options). Compiled statements run every
+	// execution with these options.
 	Exec core.Options
 }
 

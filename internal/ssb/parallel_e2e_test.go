@@ -1,0 +1,73 @@
+package ssb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qppt/internal/core"
+)
+
+// TestMorselParallelMatchesSerial asserts bit-identical results between
+// serial and morsel-driven execution for every SSB query, across plan
+// shapes (with and without composed select-joins) and pool sizes. The
+// grouped aggregates fold associatively and the result index iterates in
+// key order, so the parallel schedule must be completely invisible in the
+// output.
+func TestMorselParallelMatchesSerial(t *testing.T) {
+	ds := testDataset(t)
+	for _, qid := range QueryIDs {
+		for _, useSJ := range []bool{true, false} {
+			serial, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: useSJ})
+			if err != nil {
+				t.Fatalf("Q%s serial: %v", qid, err)
+			}
+			for _, workers := range []int{2, 4} {
+				opt := PlanOptions{
+					UseSelectJoin: useSJ,
+					Exec:          core.Options{Workers: workers, MorselsPerWorker: 3},
+				}
+				par, _, err := ds.RunQPPT(qid, opt)
+				if err != nil {
+					t.Fatalf("Q%s workers=%d: %v", qid, workers, err)
+				}
+				if !reflect.DeepEqual(serial.Rows, par.Rows) {
+					t.Errorf("Q%s selectjoin=%v workers=%d: parallel result differs (%d vs %d rows)",
+						qid, useSJ, workers, len(par.Rows), len(serial.Rows))
+				}
+			}
+		}
+	}
+}
+
+// TestMorselStatsRecordConfiguration: the plan statistics must surface
+// the pool configuration and the per-operator worker/morsel counts, so
+// benchmark output records what it measured.
+func TestMorselStatsRecordConfiguration(t *testing.T) {
+	ds := testDataset(t)
+	_, stats, err := ds.RunQPPT("2.3", PlanOptions{
+		UseSelectJoin: true,
+		Exec:          core.Options{Workers: 3, MorselsPerWorker: 5, CollectStats: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 3 || stats.MorselsPerWorker != 5 {
+		t.Fatalf("plan stats pool = %d×%d, want 3×5", stats.Workers, stats.MorselsPerWorker)
+	}
+	fanned := false
+	for _, op := range stats.Ops {
+		if op.Morsels > 1 {
+			fanned = true
+		}
+		if op.Workers < 1 || op.Morsels < op.Workers {
+			t.Fatalf("%s: %d workers, %d morsels", op.Label, op.Workers, op.Morsels)
+		}
+	}
+	if !fanned {
+		t.Fatal("no operator recorded a morsel fan-out > 1")
+	}
+	if s := stats.String(); !strings.Contains(s, "workers") || !strings.Contains(s, "morsels") {
+		t.Fatalf("stats string does not record the pool configuration:\n%s", s)
+	}
+}

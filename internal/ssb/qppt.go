@@ -24,7 +24,11 @@ type PlanOptions struct {
 	// record identifier, combined by the intersect set operator (paper
 	// Section 4.1). Honored by the Q1.x plans; implies no select-join.
 	DecomposeSelections bool
-	// Exec carries the execution options (buffer size, stats, parallel).
+	// Exec carries the execution options: joinbuffer size, statistics,
+	// and the morsel-driven parallelism knobs — Exec.Workers sizes the
+	// plan-wide shared worker pool that serves both concurrent plan
+	// branches and the operators' work-stealing key-range morsels,
+	// Exec.MorselsPerWorker the morsel fan-out (see core.Options).
 	Exec core.Options
 }
 

@@ -1,0 +1,157 @@
+// Command benchdiff compares two `go test -bench` output files and exits
+// non-zero when any benchmark regresses beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff -old baseline.txt -new current.txt [-threshold 15] [-min-samples 3]
+//
+// Both files hold standard Go benchmark output (any -count). For every
+// benchmark present in both files, the *median* ns/op is compared; a
+// benchmark fails when the new median is more than -threshold percent
+// slower AND the regression is significant: both sides have at least
+// -min-samples samples (run with -count 6) and the sample ranges do not
+// overlap (every new run slower than every old run — a non-parametric
+// separation test that keeps shared-runner noise, which routinely swings
+// individual medians past 10%, from flaking the gate). Suspicious but
+// overlapping regressions are marked '?' and reported without failing.
+// Benchmarks present on only one side are reported but never fail the
+// comparison, so adding or removing benchmarks does not break the CI
+// gate.
+//
+// benchdiff is the deterministic gate of the benchmark-regression CI job;
+// benchstat (golang.org/x/perf) renders the human-readable report next to
+// it when installed, but the gate must not depend on an external tool or
+// its output format.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g. "BenchmarkX/sub-8   120  9123456 ns/op  12 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func load(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64{}, xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output")
+	newPath := flag.String("new", "", "current benchmark output")
+	threshold := flag.Float64("threshold", 15, "fail on median ns/op regressions above this percentage")
+	minSamples := flag.Int("min-samples", 3, "samples required on both sides before a regression can fail the gate")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldS, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newS, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldS))
+	for name := range oldS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		ns, ok := newS[name]
+		if !ok {
+			fmt.Printf("  %-60s removed (baseline only)\n", name)
+			continue
+		}
+		os_, nsM := median(oldS[name]), median(ns)
+		delta := (nsM - os_) / os_ * 100
+		mark := " "
+		if delta > *threshold {
+			enough := len(oldS[name]) >= *minSamples && len(ns) >= *minSamples
+			if enough && minOf(ns) > maxOf(oldS[name]) {
+				mark = "✗" // separated distributions: a real regression
+				failed++
+			} else {
+				mark = "?" // too few samples or overlapping ranges: noise
+			}
+		}
+		compared++
+		fmt.Printf("%s %-60s %12.0f → %12.0f ns/op  %+6.1f%%  (n=%d/%d)\n",
+			mark, name, os_, nsM, delta, len(oldS[name]), len(ns))
+	}
+	for name := range newS {
+		if _, ok := oldS[name]; !ok {
+			fmt.Printf("  %-60s new (no baseline)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks — wrong files?")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", compared, *threshold)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadParsesBenchOutput(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBench(t, dir, "b.txt", `
+goos: linux
+BenchmarkFoo/sub-8   	     120	   9123456 ns/op	      12 B/op	       0 allocs/op
+BenchmarkFoo/sub-8   	     121	   9200000 ns/op
+BenchmarkBar 	       5	  97436448 ns/op	310678178 B/op
+PASS
+`)
+	s, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s["BenchmarkFoo/sub"]); got != 2 {
+		t.Fatalf("BenchmarkFoo/sub samples = %d, want 2 (GOMAXPROCS suffix must strip)", got)
+	}
+	if got := len(s["BenchmarkBar"]); got != 1 {
+		t.Fatalf("BenchmarkBar samples = %d, want 1 (no suffix)", got)
+	}
+	if m := median(s["BenchmarkFoo/sub"]); m != (9123456+9200000)/2.0 {
+		t.Fatalf("median = %f", m)
+	}
+}
+
+func TestSeparationRule(t *testing.T) {
+	// The gate logic in main(): fail only when the median regresses past
+	// the threshold AND the ranges separate. Recreate the decision here.
+	decide := func(old, new []float64, threshold float64, minSamples int) string {
+		delta := (median(new) - median(old)) / median(old) * 100
+		if delta <= threshold {
+			return "pass"
+		}
+		if len(old) >= minSamples && len(new) >= minSamples && minOf(new) > maxOf(old) {
+			return "fail"
+		}
+		return "suspect"
+	}
+	// Clean 30% regression, tight samples: fails.
+	if got := decide([]float64{100, 101, 102}, []float64{130, 131, 132}, 15, 3); got != "fail" {
+		t.Fatalf("separated regression = %s, want fail", got)
+	}
+	// Median past threshold but ranges overlap (noisy runner): suspect only.
+	if got := decide([]float64{100, 140, 100}, []float64{120, 119, 141}, 15, 3); got != "suspect" {
+		t.Fatalf("overlapping regression = %s, want suspect", got)
+	}
+	// Too few samples: suspect only.
+	if got := decide([]float64{100}, []float64{200}, 15, 3); got != "suspect" {
+		t.Fatalf("undersampled regression = %s, want suspect", got)
+	}
+	// Within threshold: passes.
+	if got := decide([]float64{100, 101, 99}, []float64{110, 111, 109}, 15, 3); got != "pass" {
+		t.Fatalf("small delta = %s, want pass", got)
+	}
+}

@@ -2,9 +2,13 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|layout|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
-//	          [-workers N] [-morsels M]
+//	          [-workers N] [-morsels M] [-benchjson BENCH_qppt.json]
+//
+// -benchjson writes a machine-readable perf snapshot (per-query ms, the
+// arena-vs-pointer layout ablation, index build costs) to the given path,
+// so the perf trajectory is tracked across PRs.
 //
 // -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
 // shared worker pool of that size (morsel-driven parallelism); -morsels
@@ -18,9 +22,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,16 +35,28 @@ import (
 	"qppt/internal/ssb"
 )
 
+// benchSnapshot is the -benchjson payload: one perf record per run, good
+// for diffing across PRs.
+type benchSnapshot struct {
+	SF      float64           `json:"sf"`
+	Workers int               `json:"workers"`
+	GoMaxP  int               `json:"gomaxprocs"`
+	Queries []bench.QueryTime `json:"queries,omitempty"`
+	Layout  []bench.LayoutRow `json:"layout,omitempty"`
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, layout, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
 	seed := flag.Int64("seed", 42, "data generator seed")
 	workers := flag.Int("workers", 1, "shared worker pool size for the QPPT engine (1 = serial, the paper's mode)")
 	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
+	benchjson := flag.String("benchjson", "", "write a JSON perf snapshot (query times, layout ablation) to this path")
 	flag.Parse()
 	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels}
+	snap := benchSnapshot{SF: *sf, Workers: *workers, GoMaxP: runtime.GOMAXPROCS(0)}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {
@@ -50,7 +68,16 @@ func main() {
 		sizes = append(sizes, n)
 	}
 
-	wants := func(name string) bool { return *fig == "all" || *fig == name }
+	// -fig accepts a single figure name, "all", or a comma-separated list
+	// (e.g. -fig 7,layout for one perf snapshot covering both).
+	wants := func(name string) bool {
+		for _, f := range strings.Split(*fig, ",") {
+			if f = strings.TrimSpace(f); f == "all" || f == name {
+				return true
+			}
+		}
+		return false
+	}
 	var ds *ssb.Dataset
 	dataset := func() *ssb.Dataset {
 		if ds == nil {
@@ -79,6 +106,7 @@ func main() {
 			fatal(err)
 		}
 		printQueryTimes(rows)
+		snap.Queries = append(snap.Queries, rows...)
 	}
 	if wants("8") {
 		fmt.Println("=== Figure 8: SSB Q1.1 with and without select-join [ms] ===")
@@ -150,6 +178,29 @@ func main() {
 			fmt.Printf("  batch %5d  lookup %7.1f ns/key\n", r.BatchSize, r.LookupNs)
 		}
 		fmt.Println()
+	}
+	if wants("layout") {
+		fmt.Println("=== Ablation: arena vs pointer index layout ===")
+		n := min(sizes[0], 2000000)
+		rows := bench.AblationLayout(n)
+		for _, r := range rows {
+			fmt.Printf("  %-8s %8d keys  build %7.1f ns/key  batch-lookup %7.1f ns/key  index %7.2f MB  alloc %8.2f MB (%d objs)  GC pause %6.2f ms (%d cycles)\n",
+				r.Layout, r.Keys, r.BuildNs, r.LookupBatchNs,
+				float64(r.IndexBytes)/1e6, float64(r.AllocBytes)/1e6, r.Allocs,
+				float64(r.GCPauseNs)/1e6, r.NumGC)
+		}
+		fmt.Println()
+		snap.Layout = rows
+	}
+	if *benchjson != "" {
+		data, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote perf snapshot to %s\n", *benchjson)
 	}
 }
 

@@ -1,0 +1,101 @@
+package arena
+
+import "testing"
+
+func TestRefTagging(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil is not nil")
+	}
+	for _, idx := range []uint32{0, 1, 1000, 1<<31 - 2} {
+		nr := NodeRef(idx)
+		lr := LeafRef(idx)
+		if nr.IsNil() || lr.IsNil() {
+			t.Fatalf("idx %d: valid ref reads as nil", idx)
+		}
+		if nr.IsLeaf() {
+			t.Fatalf("idx %d: node ref tagged as leaf", idx)
+		}
+		if !lr.IsLeaf() {
+			t.Fatalf("idx %d: leaf ref not tagged", idx)
+		}
+		if nr.Index() != idx || lr.Index() != idx {
+			t.Fatalf("idx %d: round-trip gave %d / %d", idx, nr.Index(), lr.Index())
+		}
+	}
+}
+
+func TestArenaStableAddresses(t *testing.T) {
+	a := Make[uint64](4) // 16 elements per chunk
+	var ptrs []*uint64
+	for i := 0; i < 1000; i++ {
+		idx := a.Alloc(uint64(i))
+		if idx != uint32(i) {
+			t.Fatalf("Alloc %d returned index %d", i, idx)
+		}
+		ptrs = append(ptrs, a.At(idx))
+	}
+	if a.Len() != 1000 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i, p := range ptrs {
+		// The addresses taken while the arena grew must still point at
+		// the right elements.
+		if *p != uint64(i) || a.At(uint32(i)) != p {
+			t.Fatalf("element %d moved", i)
+		}
+	}
+	n := 0
+	a.Scan(func(idx uint32, v *uint64) bool {
+		if *v != uint64(idx) {
+			t.Fatalf("Scan idx %d = %d", idx, *v)
+		}
+		n++
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("Scan visited %d", n)
+	}
+}
+
+func TestSlotsAllocFreeRecycle(t *testing.T) {
+	for _, blockLen := range []int{2, 16, 64, 1 << 16} {
+		s := MakeSlots(blockLen)
+		a := s.Alloc()
+		b := s.Alloc()
+		if a == b {
+			t.Fatalf("blockLen %d: duplicate ordinals", blockLen)
+		}
+		blkA := s.Block(a)
+		if len(blkA) != blockLen {
+			t.Fatalf("blockLen %d: block has %d slots", blockLen, len(blkA))
+		}
+		blkA[0] = 7
+		blkA[blockLen-1] = 9
+		// Growing must not move existing blocks.
+		for i := 0; i < 100; i++ {
+			s.Alloc()
+		}
+		if got := s.Block(a); got[0] != 7 || got[blockLen-1] != 9 {
+			t.Fatalf("blockLen %d: block moved or lost data", blockLen)
+		}
+		if s.Live() != 102 {
+			t.Fatalf("blockLen %d: Live = %d, want 102", blockLen, s.Live())
+		}
+		s.Free(a)
+		if s.Live() != 101 {
+			t.Fatalf("blockLen %d: Live after free = %d", blockLen, s.Live())
+		}
+		c := s.Alloc() // must recycle a, zeroed
+		if c != a {
+			t.Fatalf("blockLen %d: freed block not recycled (got %d, want %d)", blockLen, c, a)
+		}
+		for i, v := range s.Block(c) {
+			if v != 0 {
+				t.Fatalf("blockLen %d: recycled block slot %d = %d, not zeroed", blockLen, i, v)
+			}
+		}
+		if s.Bytes() != s.n*blockLen*4 {
+			t.Fatalf("blockLen %d: Bytes = %d", blockLen, s.Bytes())
+		}
+	}
+}

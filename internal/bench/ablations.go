@@ -3,11 +3,13 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"qppt/internal/core"
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
+	"qppt/internal/prefixtree/ptrtree"
 	"qppt/internal/ssb"
 )
 
@@ -173,6 +175,122 @@ func AblationKISSCompression(n int) []CompressionRow {
 				InsertNs: ns, Bytes: t.Bytes(), RCUCopies: t.RCUCopies(),
 			})
 		}
+	}
+	return out
+}
+
+// A LayoutRow is one point of the index-layout ablation: the arena-backed
+// compact-pointer prefix tree against the retained pointer-based baseline
+// (package ptrtree), including the memory-system costs the layout change
+// targets — heap allocated during the build, index footprint, and GC
+// pause time accumulated while building.
+type LayoutRow struct {
+	Layout        string  // "arena" or "pointer"
+	Keys          int     // index size built
+	BuildNs       float64 // batched-insert build, per key
+	LookupBatchNs float64 // batched lookup, per key
+	IndexBytes    int     // Tree.Bytes() of the built index
+	AllocBytes    uint64  // heap allocated during the build
+	Allocs        uint64  // heap objects allocated during the build
+	GCPauseNs     uint64  // GC stop-the-world pause during the build
+	NumGC         uint32  // GC cycles during the build
+}
+
+// AblationLayout builds one index of n random 64-bit keys per layout
+// through the batched insert path and probes it with batched lookups,
+// recording time, allocation, footprint and GC-pause deltas.
+func AblationLayout(n int) []LayoutRow {
+	keys := make([]uint64, n)
+	rng := rand.New(rand.NewSource(53))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	rows := make([][]uint64, n)
+	backing := make([]uint64, n)
+	for i := range rows {
+		backing[i] = keys[i]
+		rows[i] = backing[i : i+1 : i+1]
+	}
+	probes := make([]uint64, n)
+	copy(probes, keys)
+	rng.Shuffle(n, func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+
+	var out []LayoutRow
+	for _, layout := range []string{"arena", "pointer"} {
+		// The timed region covers only the batched index build; Bytes()
+		// accounting (an O(n) walk on the pointer baseline) and lookup
+		// timing happen outside it, after the memory-stats snapshot.
+		var arenaTree *prefixtree.Tree
+		var ptrTree *ptrtree.Tree
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		buildNs := timePerKey(n, func() {
+			if layout == "arena" {
+				t := prefixtree.MustNew(prefixtree.Config{PayloadWidth: 1})
+				for off := 0; off < n; off += fig3Batch {
+					end := min(off+fig3Batch, n)
+					t.InsertBatch(keys[off:end], rows[off:end])
+				}
+				arenaTree = t
+				return
+			}
+			t := ptrtree.MustNew(ptrtree.Config{PayloadWidth: 1})
+			for off := 0; off < n; off += fig3Batch {
+				end := min(off+fig3Batch, n)
+				t.InsertBatch(keys[off:end], rows[off:end])
+			}
+			ptrTree = t
+		})
+		runtime.ReadMemStats(&after)
+		var idxBytes int
+		var lookup func() float64
+		if arenaTree != nil {
+			idxBytes = arenaTree.Bytes()
+			lookup = func() float64 {
+				return timePerKey(n, func() {
+					for off := 0; off < n; off += fig3Batch {
+						end := min(off+fig3Batch, n)
+						arenaTree.LookupBatch(probes[off:end], func(_ int, lf *prefixtree.Leaf) {
+							if lf != nil {
+								sink += lf.Key
+							}
+						})
+					}
+				})
+			}
+		} else {
+			idxBytes = ptrTree.Bytes()
+			lookup = func() float64 {
+				return timePerKey(n, func() {
+					for off := 0; off < n; off += fig3Batch {
+						end := min(off+fig3Batch, n)
+						ptrTree.LookupBatch(probes[off:end], func(_ int, lf *ptrtree.Leaf) {
+							if lf != nil {
+								sink += lf.Key
+							}
+						})
+					}
+				})
+			}
+		}
+		lookupNs := lookup()
+		for rep := 0; rep < 2; rep++ { // best-of-3 against timer noise
+			if ns := lookup(); ns < lookupNs {
+				lookupNs = ns
+			}
+		}
+		out = append(out, LayoutRow{
+			Layout:        layout,
+			Keys:          n,
+			BuildNs:       buildNs,
+			LookupBatchNs: lookupNs,
+			IndexBytes:    idxBytes,
+			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+			Allocs:        after.Mallocs - before.Mallocs,
+			GCPauseNs:     after.PauseTotalNs - before.PauseTotalNs,
+			NumGC:         after.NumGC - before.NumGC,
+		})
 	}
 	return out
 }

@@ -169,7 +169,7 @@ func TestParallelGivesIdenticalResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := starPlan(f, 5).Run(Options{Parallel: true})
+	par, _, err := starPlan(f, 5).Run(Options{Workers: WorkersAuto})
 	if err != nil {
 		t.Fatal(err)
 	}

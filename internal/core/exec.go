@@ -38,26 +38,30 @@ type Options struct {
 	// morsels. More morsels resist skew better but leave more partial
 	// outputs to merge. Default DefaultMorselsPerWorker.
 	MorselsPerWorker int
-	// Parallel is deprecated: a Workers pool > 1 already runs
-	// independent plan subtrees concurrently. Setting Parallel without
-	// Workers sizes the pool to GOMAXPROCS for compatibility with the
-	// old inter-operator-only mode.
-	Parallel bool
+	// PointerLayout builds intermediate prefix-tree indexes with the
+	// retained pointer-based baseline (package ptrtree) instead of the
+	// arena-backed compact-pointer layout. It exists for the layout
+	// ablation benchmarks and differential tests; production plans leave
+	// it false. KISS-Tree intermediates are arena-backed either way.
+	PointerLayout bool
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
 }
 
-// poolWorkers resolves the deprecated Workers/Parallel split into the one
-// pool size the scheduler uses.
+// poolWorkers resolves Workers into the pool size the scheduler uses.
+// WorkersAuto (-1) sizes the pool to GOMAXPROCS.
 func (o Options) poolWorkers() int {
 	if o.Workers > 1 {
 		return o.Workers
 	}
-	if o.Workers < 1 && o.Parallel {
+	if o.Workers == WorkersAuto {
 		return runtime.GOMAXPROCS(0)
 	}
 	return 1
 }
+
+// WorkersAuto sizes the worker pool to GOMAXPROCS.
+const WorkersAuto = -1
 
 // morselsPerWorker resolves the morsel fan-out factor.
 func (o Options) morselsPerWorker() int {

@@ -71,7 +71,7 @@ func (s *Selection) CtxOf(input *IndexedTable, attr string) int {
 func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
 	in := inputs[0]
 	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
-		p := newPipeline(newCtxLayout(in), ec.bufferSize())
+		p := newPipeline(ec, newCtxLayout(in))
 		p.residual = s.Residual
 		out, err := p.setSink(spec)
 		if err != nil {
@@ -165,7 +165,7 @@ func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, erro
 	left, right := inputs[0], inputs[1]
 	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
 		layout := newCtxLayout(inputs...)
-		p := newPipeline(layout, ec.bufferSize())
+		p := newPipeline(ec, layout)
 		for i, a := range j.Assists {
 			off, err := layout.resolve(a.ProbeWith)
 			if err != nil {
@@ -274,7 +274,7 @@ func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTabl
 	sel := inputs[0]
 	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
 		layout := newCtxLayout(inputs...)
-		p := newPipeline(layout, ec.bufferSize())
+		p := newPipeline(ec, layout)
 		mainOff, err := layout.resolve(sj.ProbeMainWith)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
@@ -354,7 +354,7 @@ func (op *UnionDistinct) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedT
 	}
 	spec.Fold = func(dst, src []uint64) {} // distinct: keep the first row per key
 	layout := newCtxLayout(a)
-	p := newPipeline(layout, ec.bufferSize())
+	p := newPipeline(ec, layout)
 	out, err := p.setSink(&spec)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
+	"qppt/internal/prefixtree/ptrtree"
 )
 
 // Intra-operator parallelism (paper Section 7).
@@ -88,6 +89,12 @@ func syncScanKeyRange(a, b Index, lo, hi uint64, visit func(key uint64, va, vb *
 	case ptIndex:
 		if bi, isPT := b.(ptIndex); isPT && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
 			return prefixtree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *prefixtree.Leaf) bool {
+				return visit(la.Key, &la.Vals, &lb.Vals)
+			})
+		}
+	case ptrIndex:
+		if bi, isPtr := b.(ptrIndex); isPtr && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
+			return ptrtree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *ptrtree.Leaf) bool {
 				return visit(la.Key, &la.Vals, &lb.Vals)
 			})
 		}
@@ -273,8 +280,10 @@ func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, h
 	flush()
 }
 
-// newOutputIndex creates the output index structure an OutputSpec asks for.
-func newOutputIndex(spec *OutputSpec) Index {
+// newOutputIndex creates the output index structure an OutputSpec asks
+// for; pointerLayout selects the retained pointer-based prefix-tree
+// baseline (Options.PointerLayout).
+func newOutputIndex(spec *OutputSpec, pointerLayout bool) Index {
 	return NewIndex(IndexConfig{
 		KeyBits:         spec.Key.TotalBits(),
 		PayloadWidth:    len(spec.Cols),
@@ -282,14 +291,15 @@ func newOutputIndex(spec *OutputSpec) Index {
 		ForcePrefixTree: spec.ForcePrefixTree,
 		CompressKISS:    spec.CompressKISS,
 		PrefixLen:       spec.PrefixLen,
+		PointerLayout:   pointerLayout,
 	})
 }
 
 // mergePartials is the sequential merge baseline: it folds per-worker
 // partial outputs into one final output index by re-insertion, scanning
 // the partials one after another over the full key space.
-func mergePartials(spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
-	idx := newOutputIndex(spec)
+func mergePartials(spec *OutputSpec, partials []*IndexedTable, pointerLayout bool) *IndexedTable {
+	idx := newOutputIndex(spec, pointerLayout)
 	mergeRangeInto(idx, spec, partials, 0, keySpaceMax(spec.Key.TotalBits()))
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx)
 }
@@ -310,8 +320,9 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 	for _, p := range partials {
 		total += p.Idx.Rows()
 	}
+	ptr := ec.opts.PointerLayout
 	if !sched.parallel() || total < parallelMergeMinKeys {
-		return mergePartials(spec, partials)
+		return mergePartials(spec, partials, ptr)
 	}
 	var lo, hi uint64
 	any := false
@@ -330,7 +341,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		any = true
 	}
 	if !any {
-		return mergePartials(spec, partials)
+		return mergePartials(spec, partials, ptr)
 	}
 	// Two ranges per worker give the claiming loops room to balance ranges
 	// of uneven density without fragmenting the output into many shards.
@@ -345,13 +356,13 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		his = append(his, rHi)
 	}
 	if len(los) < 2 {
-		return mergePartials(spec, partials)
+		return mergePartials(spec, partials, ptr)
 	}
 	shards := make([]Index, len(los))
 	// ForEachWorker cannot fail here (the body returns nil), so the error
 	// is discarded.
 	_ = sched.ForEachWorker(len(shards), func(_, r int) error {
-		idx := newOutputIndex(spec)
+		idx := newOutputIndex(spec, ptr)
 		mergeRangeInto(idx, spec, partials, los[r], his[r])
 		shards[r] = idx
 		return nil

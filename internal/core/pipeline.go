@@ -128,6 +128,7 @@ type compiledExpr struct {
 // by ExecContext.noteSink.
 type pipeline struct {
 	layout   ctxLayout
+	ptr      bool // build the output index in the pointer baseline layout
 	residual func(ctx []uint64) bool
 	// filters[i], if set, drops combinations entering stage i
 	// (i == len(stages) filters combinations entering the sink). This is
@@ -152,11 +153,12 @@ func (p *pipeline) setFilter(i int, f func(ctx []uint64) bool) {
 	p.filters[i] = f
 }
 
-func newPipeline(layout ctxLayout, bufSize int) *pipeline {
+func newPipeline(ec *ExecContext, layout ctxLayout) *pipeline {
+	bufSize := ec.bufferSize()
 	if bufSize < 1 {
 		bufSize = 1
 	}
-	return &pipeline{layout: layout, bufSize: bufSize}
+	return &pipeline{layout: layout, bufSize: bufSize, ptr: ec.opts.PointerLayout}
 }
 
 // addProbe appends a probe stage for assisting input `input`, probing with
@@ -198,7 +200,7 @@ func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
 		}
 		s.exprs = append(s.exprs, compiledExpr{off: off})
 	}
-	s.out = newOutputIndex(spec)
+	s.out = newOutputIndex(spec, p.ptr)
 	p.snk = s
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, s.out), nil
 }

@@ -16,6 +16,12 @@
 // aggregation-on-insert: instead of appending, an aggregator folds the new
 // row into the stored first row (the paper's "grouping happens
 // automatically as a side effect", Section 3).
+//
+// Segment memory normally comes from per-list `make` calls; the AppendIn /
+// AggregateIn variants instead draw it from a Slab — a large-block
+// allocator owned by the tree that embeds the lists — so a whole
+// intermediate index allocates a handful of slabs instead of one object
+// per key, and frees them wholesale when the index is dropped.
 package duplist
 
 const (
@@ -84,14 +90,20 @@ func (l *List) First() []uint64 {
 }
 
 // Append adds a copy of row to the list.
-func (l *List) Append(row []uint64) {
+func (l *List) Append(row []uint64) { l.AppendIn(nil, row) }
+
+// AppendIn adds a copy of row to the list, drawing any new segment or
+// first-row memory from slab. A nil slab falls back to per-list `make`
+// calls — the pre-slab behaviour. A list must stick to one slab (or to
+// none) for its whole lifetime.
+func (l *List) AppendIn(slab *Slab, row []uint64) {
 	if len(row) != l.width {
 		panic("duplist: row width mismatch")
 	}
 	l.n++
 	if l.n == 1 {
 		if l.first == nil {
-			l.first = make([]uint64, l.width)
+			l.first = allocRow(slab, l.width)
 		}
 		copy(l.first, row)
 		return
@@ -99,7 +111,7 @@ func (l *List) Append(row []uint64) {
 	if l.width == 0 {
 		return // existence only: nothing to store
 	}
-	dst := l.alloc()
+	dst := l.alloc(slab)
 	copy(dst, row)
 }
 
@@ -107,13 +119,19 @@ func (l *List) Append(row []uint64) {
 // the first row if the list is empty. It is the insertion path used by
 // grouping/aggregating indexes: the list then always holds exactly one row.
 func (l *List) Aggregate(row []uint64, fold func(dst, src []uint64)) {
+	l.AggregateIn(nil, row, fold)
+}
+
+// AggregateIn is Aggregate drawing first-row memory from slab (nil slab =
+// per-list make, as with AppendIn).
+func (l *List) AggregateIn(slab *Slab, row []uint64, fold func(dst, src []uint64)) {
 	if len(row) != l.width {
 		panic("duplist: row width mismatch")
 	}
 	if l.n == 0 {
 		l.n = 1
 		if l.first == nil {
-			l.first = make([]uint64, l.width)
+			l.first = allocRow(slab, l.width)
 		}
 		copy(l.first, row)
 		return
@@ -121,10 +139,18 @@ func (l *List) Aggregate(row []uint64, fold func(dst, src []uint64)) {
 	fold(l.first, row)
 }
 
+// allocRow reserves one row of storage, from the slab when one is given.
+func allocRow(slab *Slab, width int) []uint64 {
+	if slab != nil {
+		return slab.alloc(width)
+	}
+	return make([]uint64, width)
+}
+
 // alloc reserves space for one row and returns the destination slice.
-func (l *List) alloc() []uint64 {
+func (l *List) alloc(slab *Slab) []uint64 {
 	if l.tail == nil || l.tail.used+l.width > len(l.tail.data) {
-		l.grow()
+		l.grow(slab)
 	}
 	s := l.tail
 	dst := s.data[s.used : s.used+l.width]
@@ -133,8 +159,9 @@ func (l *List) alloc() []uint64 {
 }
 
 // grow appends a new segment of twice the previous capacity, starting at
-// 64 B and capping at the 4 KB page size (Figure 4).
-func (l *List) grow() {
+// 64 B and capping at the 4 KB page size (Figure 4). Segment header and
+// data come from the slab when one is given.
+func (l *List) grow(slab *Slab) {
 	words := firstSegBytes / wordBytes
 	if l.tail != nil {
 		words = 2 * len(l.tail.data)
@@ -145,7 +172,12 @@ func (l *List) grow() {
 	if words < l.width { // very wide rows: at least one row per segment
 		words = l.width
 	}
-	seg := &segment{data: make([]uint64, words)}
+	var seg *segment
+	if slab != nil {
+		seg = slab.newSegment(words)
+	} else {
+		seg = &segment{data: make([]uint64, words)}
+	}
 	if l.tail == nil {
 		l.head, l.tail = seg, seg
 	} else {

@@ -1,0 +1,75 @@
+package duplist
+
+import "qppt/internal/arena"
+
+// A Slab is an optional allocator for List memory. Without one, every
+// first row and every duplicate segment of every key is a separate GC
+// object (`make` per key); with one, an entire intermediate index draws
+// its duplicate storage from a handful of large blocks owned by the tree
+// that created it, and the memory is released wholesale when the operator
+// drops the output index — there is nothing to free per key.
+//
+// A Slab is single-writer, like the trees that own one: concurrent
+// appends through the same slab require external synchronization. Under
+// morsel-driven parallelism each worker builds a private partial index
+// with a private slab, so no sharing arises.
+type Slab struct {
+	blocks [][]uint64
+	cur    []uint64             // current block
+	off    int                  // words used in cur
+	segs   arena.Arena[segment] // segment headers, chunked like the data
+}
+
+const (
+	// slabBlockWords is the slab block size: 8192 uint64 = 64 KiB, 16×
+	// the largest duplicate segment, so block-tail waste stays under 7%.
+	slabBlockWords = 8192
+	// slabSegChunkBits: 512 segment headers (~10 KiB) per header chunk.
+	slabSegChunkBits = 9
+)
+
+// NewSlab returns an empty slab.
+func NewSlab() *Slab {
+	return &Slab{segs: arena.Make[segment](slabSegChunkBits)}
+}
+
+// alloc carves n words off the current block, starting a fresh block when
+// the remainder is too small. Requests larger than a block (very wide
+// rows) get a dedicated block.
+func (s *Slab) alloc(n int) []uint64 {
+	if n > slabBlockWords {
+		b := make([]uint64, n)
+		s.blocks = append(s.blocks, b)
+		return b
+	}
+	if len(s.cur)-s.off < n {
+		s.cur = make([]uint64, slabBlockWords)
+		s.off = 0
+		s.blocks = append(s.blocks, s.cur)
+	}
+	d := s.cur[s.off : s.off+n : s.off+n]
+	s.off += n
+	return d
+}
+
+// newSegment returns a segment header backed by slab memory.
+func (s *Slab) newSegment(words int) *segment {
+	return s.segs.At(s.segs.Alloc(segment{data: s.alloc(words)}))
+}
+
+// Blocks reports the number of slab blocks allocated.
+func (s *Slab) Blocks() int { return len(s.blocks) }
+
+// Bytes reports the heap footprint of the slab: all blocks (including
+// unused tails) plus the segment-header arena.
+func (s *Slab) Bytes() int {
+	b := 0
+	for _, blk := range s.blocks {
+		b += len(blk) * wordBytes
+	}
+	return b + s.segs.Len()*segHeaderBytes
+}
+
+// segHeaderBytes estimates one segment header (next pointer + used int +
+// slice header).
+const segHeaderBytes = 40

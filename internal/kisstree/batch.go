@@ -1,6 +1,9 @@
 package kisstree
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // onesBelow counts occupied slots below slot in a compressed node's bitmap,
 // i.e. the dense-array position of slot.
@@ -19,13 +22,31 @@ func onesBelow(bm uint64, slot int) int {
 // key (the software-pipelining effect the paper gets from explicit
 // prefetch instructions).
 
+// ptrPool recycles the per-batch compact-pointer scratch so steady-state
+// batched probes and inserts allocate nothing. A sync.Pool (rather than a
+// tree-owned buffer) keeps concurrent LookupBatch calls from parallel
+// morsel workers safe: each call checks out a private buffer.
+var ptrPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// getPtrs checks a uint32 scratch buffer of length n out of the pool,
+// growing it only when a larger batch than ever before arrives.
+func getPtrs(n int) *[]uint32 {
+	pp := ptrPool.Get().(*[]uint32)
+	if cap(*pp) < n {
+		*pp = make([]uint32, n)
+	}
+	*pp = (*pp)[:n]
+	return pp
+}
+
 // LookupBatch resolves all keys and calls visit(i, leaf) for each, where
 // leaf is nil for absent keys.
 func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
 	if len(keys) == 0 {
 		return
 	}
-	ptrs := make([]uint32, len(keys))
+	pp := getPtrs(len(keys))
+	ptrs := *pp
 	// Level 1: all root accesses back to back.
 	for i, key := range keys {
 		ptrs[i] = t.rootGet(checkKey(key) >> leafBits)
@@ -49,7 +70,7 @@ func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
 	} else {
 		for i, key := range keys {
 			if ptr := ptrs[i]; ptr != 0 {
-				ptrs[i] = t.nodes[ptr-1].slots[uint32(key)&slotMask]
+				ptrs[i] = t.nodes.Block(ptr - 1)[uint32(key)&slotMask]
 			}
 		}
 	}
@@ -58,9 +79,10 @@ func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
 		if lp == 0 {
 			visit(i, nil)
 		} else {
-			visit(i, t.leaves.at(lp-1))
+			visit(i, t.leaves.At(lp-1))
 		}
 	}
+	ptrPool.Put(pp)
 }
 
 // lookupInNode resolves the second level and content access for one key,
@@ -73,33 +95,40 @@ func (t *Tree) lookupInNode(ptr uint32, k uint32) *Leaf {
 		if cn.bitmap&bit == 0 {
 			return nil
 		}
-		return t.leaves.at(cn.entries[onesBelow(cn.bitmap, slot)] - 1)
+		return t.leaves.At(cn.entries[onesBelow(cn.bitmap, slot)] - 1)
 	}
-	lp := t.nodes[ptr-1].slots[slot]
+	lp := t.nodes.Block(ptr - 1)[slot]
 	if lp == 0 {
 		return nil
 	}
-	return t.leaves.at(lp - 1)
+	return t.leaves.At(lp - 1)
 }
 
 // InsertBatch inserts rows[i] under keys[i] for all i. rows may be nil for
 // width-0 trees; otherwise len(rows) must equal len(keys).
 func (t *Tree) InsertBatch(keys []uint64, rows [][]uint64) {
+	if len(keys) == 0 {
+		return
+	}
 	if rows != nil && len(rows) != len(keys) {
 		panic("kisstree: InsertBatch length mismatch")
 	}
-	// Pass 1 resolves/creates all content nodes level-synchronously; pass
-	// 2 appends the payload rows. Buffered intermediate-index inserts in
-	// QPPT operators run through here.
-	leaves := make([]*Leaf, len(keys))
+	// Pass 1 resolves/creates all content nodes level-synchronously,
+	// recording compact leaf pointers (arena indices + 1, not machine
+	// pointers) in pooled scratch; pass 2 appends the payload rows.
+	// Buffered intermediate-index inserts in QPPT operators run through
+	// here.
+	pp := getPtrs(len(keys))
+	ptrs := *pp
 	for i, key := range keys {
-		leaves[i] = t.leafFor(checkKey(key))
+		ptrs[i] = t.leafPtrFor(checkKey(key))
 	}
-	for i, lf := range leaves {
+	for i, lp := range ptrs {
 		var row []uint64
 		if rows != nil {
 			row = rows[i]
 		}
-		t.addRow(lf, row)
+		t.addRow(t.leaves.At(lp-1), row)
 	}
+	ptrPool.Put(pp)
 }

@@ -29,7 +29,9 @@ package kisstree
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 )
 
@@ -67,21 +69,25 @@ type Config struct {
 // A Tree is a KISS-Tree mapping 32-bit keys to lists of fixed-width payload
 // rows.
 type Tree struct {
-	cfg    Config
-	root   [][]uint32 // virtual root: chunk directory of compact pointers
-	nodes  []node     // uncompressed second-level nodes
-	cnodes []cnode    // compressed second-level nodes
-	leaves leafArena  // content nodes; slot values are leaf index + 1
+	cfg Config
+	// root is the virtual root: a chunk directory of compact pointers.
+	root [][]uint32
+	// nodes stores uncompressed second-level nodes in the shared chunked
+	// slot arena (package arena): one 64-slot block per node, addressed by
+	// block ordinal, stable as the arena grows.
+	nodes arena.Slots
+	// cnodes are the compressed second-level nodes (bitmap + dense array).
+	cnodes []cnode
+	// leaves holds the content nodes; slot values are leaf index + 1.
+	leaves arena.Arena[Leaf]
+	// slab feeds duplicate-segment and first-row storage for all lists of
+	// this tree, replacing per-key allocations with a few large blocks.
+	slab *duplist.Slab
 
 	keys, rows       int
 	minKey, maxKey   uint32
 	copies           int // RCU node copies performed (compression cost metric)
 	touchedRootPages int // root pages written at least once (memory metric)
-}
-
-// node is an uncompressed second-level node: 64 compact leaf pointers.
-type node struct {
-	slots [nodeSlots]uint32
 }
 
 // cnode is a bitmask-compressed second-level node: a 64-bit occupancy
@@ -99,31 +105,10 @@ type Leaf struct {
 	Vals duplist.List
 }
 
-// leafArena stores leaves in fixed-size chunks so that a content access is
-// one predictable load (chunk table stays cache-resident) and leaf
-// addresses stay stable as the arena grows — the compact-pointer layout of
-// the original KISS-Tree, which reaches content in three memory accesses.
-type leafArena struct {
-	chunks [][]Leaf
-	n      int
-}
+// leafBytes is the in-arena size of one leaf header, for Bytes().
+const leafBytes = int(unsafe.Sizeof(Leaf{}))
 
-const leafChunkBits = 13 // 8192 leaves (~256 KB) per chunk
-
-func (a *leafArena) at(idx uint32) *Leaf {
-	return &a.chunks[idx>>leafChunkBits][idx&(1<<leafChunkBits-1)]
-}
-
-// alloc appends a leaf and returns its compact pointer (index + 1).
-func (a *leafArena) alloc(lf Leaf) uint32 {
-	if a.n>>leafChunkBits == len(a.chunks) {
-		a.chunks = append(a.chunks, make([]Leaf, 0, 1<<leafChunkBits))
-	}
-	c := a.n >> leafChunkBits
-	a.chunks[c] = append(a.chunks[c], lf)
-	a.n++
-	return uint32(a.n)
-}
+const leafChunkBits = 13 // 8192 leaves (~512 KB) per chunk
 
 // New creates an empty KISS-Tree. The root is allocated virtually
 // (2^26 × 4 B of untouched zero pages).
@@ -134,6 +119,9 @@ func New(cfg Config) (*Tree, error) {
 	return &Tree{
 		cfg:    cfg,
 		root:   make([][]uint32, rootChunks),
+		nodes:  arena.MakeSlots(nodeSlots),
+		leaves: arena.Make[Leaf](leafChunkBits),
+		slab:   duplist.NewSlab(),
 		minKey: ^uint32(0),
 	}, nil
 }
@@ -202,16 +190,23 @@ func (t *Tree) Insert(key uint64, row []uint64) {
 func (t *Tree) addRow(lf *Leaf, row []uint64) {
 	if t.cfg.Fold != nil {
 		was := lf.Vals.Len()
-		lf.Vals.Aggregate(row, t.cfg.Fold)
+		lf.Vals.AggregateIn(t.slab, row, t.cfg.Fold)
 		t.rows += lf.Vals.Len() - was
 		return
 	}
-	lf.Vals.Append(row)
+	lf.Vals.AppendIn(t.slab, row)
 	t.rows++
 }
 
 // leafFor finds or creates the content entry for k.
 func (t *Tree) leafFor(k uint32) *Leaf {
+	return t.leaves.At(t.leafPtrFor(k) - 1)
+}
+
+// leafPtrFor finds or creates the content entry for k and returns its
+// compact pointer (leaf arena index + 1) — the form batch inserts keep in
+// their job state.
+func (t *Tree) leafPtrFor(k uint32) uint32 {
 	rootIdx := k >> leafBits
 	slot := int(k & slotMask)
 	ptr := t.rootGet(rootIdx)
@@ -219,34 +214,33 @@ func (t *Tree) leafFor(k uint32) *Leaf {
 		t.touchedRootPages++ // approximation: one new bucket ~ page share
 	}
 	if t.cfg.Compress {
-		return t.leafForCompressed(rootIdx, slot, k, ptr)
+		return t.leafPtrForCompressed(rootIdx, slot, k, ptr)
 	}
 	if ptr == 0 {
-		t.nodes = append(t.nodes, node{})
-		ptr = uint32(len(t.nodes)) // index+1
+		ptr = t.nodes.Alloc() + 1 // block ordinal + 1
 		t.rootSet(rootIdx, ptr)
 	}
-	n := &t.nodes[ptr-1]
-	if n.slots[slot] == 0 {
-		n.slots[slot] = t.newLeaf(k)
+	n := t.nodes.Block(ptr - 1)
+	if n[slot] == 0 {
+		n[slot] = t.newLeaf(k)
 	}
-	return t.leaves.at(n.slots[slot] - 1)
+	return n[slot]
 }
 
-// leafForCompressed is the RCU path: adding a slot to a compressed node
+// leafPtrForCompressed is the RCU path: adding a slot to a compressed node
 // copies its dense entry array.
-func (t *Tree) leafForCompressed(rootIdx uint32, slot int, k uint32, ptr uint32) *Leaf {
+func (t *Tree) leafPtrForCompressed(rootIdx uint32, slot int, k uint32, ptr uint32) uint32 {
 	bit := uint64(1) << slot
 	if ptr == 0 {
 		lp := t.newLeaf(k)
 		t.cnodes = append(t.cnodes, cnode{bitmap: bit, entries: []uint32{lp}})
 		t.rootSet(rootIdx, uint32(len(t.cnodes)))
-		return t.leaves.at(lp - 1)
+		return lp
 	}
 	cn := &t.cnodes[ptr-1]
 	pos := bits.OnesCount64(cn.bitmap & (bit - 1))
 	if cn.bitmap&bit != 0 {
-		return t.leaves.at(cn.entries[pos] - 1)
+		return cn.entries[pos]
 	}
 	// New key in an existing node: copy the entry array (RCU update), then
 	// publish the new node. In the original system the copy is what allows
@@ -258,13 +252,13 @@ func (t *Tree) leafForCompressed(rootIdx uint32, slot int, k uint32, ptr uint32)
 	cn.entries = entries
 	cn.bitmap |= bit
 	t.copies++
-	return t.leaves.at(entries[pos] - 1)
+	return entries[pos]
 }
 
 // newLeaf appends a fresh leaf for key k to the arena, returning its
 // compact pointer (index+1).
 func (t *Tree) newLeaf(k uint32) uint32 {
-	lp := t.leaves.alloc(Leaf{Key: uint64(k), Vals: duplist.Make(t.cfg.PayloadWidth)})
+	lp := t.leaves.Alloc(Leaf{Key: uint64(k), Vals: duplist.Make(t.cfg.PayloadWidth)}) + 1
 	t.keys++
 	if k < t.minKey {
 		t.minKey = k
@@ -290,13 +284,13 @@ func (t *Tree) Lookup(key uint64) *Leaf {
 			return nil
 		}
 		pos := bits.OnesCount64(cn.bitmap & (bit - 1))
-		return t.leaves.at(cn.entries[pos] - 1)
+		return t.leaves.At(cn.entries[pos] - 1)
 	}
-	lp := t.nodes[ptr-1].slots[slot]
+	lp := t.nodes.Block(ptr - 1)[slot]
 	if lp == 0 {
 		return nil
 	}
-	return t.leaves.at(lp - 1)
+	return t.leaves.At(lp - 1)
 }
 
 // Contains reports whether key is present.
@@ -370,15 +364,15 @@ func (t *Tree) iterateRange(lo, hi uint32, visit func(lf *Leaf) bool) bool {
 					continue
 				}
 				pos := bits.OnesCount64(cn.bitmap & (uint64(1)<<slot - 1))
-				if !visit(t.leaves.at(cn.entries[pos] - 1)) {
+				if !visit(t.leaves.At(cn.entries[pos] - 1)) {
 					return false
 				}
 			}
 			continue
 		}
-		n := &t.nodes[ptr-1]
+		n := t.nodes.Block(ptr - 1)
 		for slot := 0; slot < nodeSlots; slot++ {
-			lp := n.slots[slot]
+			lp := n[slot]
 			if lp == 0 {
 				continue
 			}
@@ -386,7 +380,7 @@ func (t *Tree) iterateRange(lo, hi uint32, visit func(lf *Leaf) bool) bool {
 			if k < uint64(lo) || k > uint64(hi) {
 				continue
 			}
-			if !visit(t.leaves.at(lp - 1)) {
+			if !visit(t.leaves.At(lp - 1)) {
 				return false
 			}
 		}
@@ -413,7 +407,7 @@ func (t *Tree) Delete(key uint64) bool {
 			return false
 		}
 		pos := bits.OnesCount64(cn.bitmap & (bit - 1))
-		removedRows = t.leaves.at(cn.entries[pos] - 1).Vals.Len()
+		removedRows = t.leaves.At(cn.entries[pos] - 1).Vals.Len()
 		entries := make([]uint32, len(cn.entries)-1)
 		copy(entries, cn.entries[:pos])
 		copy(entries[pos:], cn.entries[pos+1:])
@@ -424,13 +418,13 @@ func (t *Tree) Delete(key uint64) bool {
 			t.rootSet(k>>leafBits, 0)
 		}
 	} else {
-		n := &t.nodes[ptr-1]
-		lp := n.slots[slot]
+		n := t.nodes.Block(ptr - 1)
+		lp := n[slot]
 		if lp == 0 {
 			return false
 		}
-		removedRows = t.leaves.at(lp - 1).Vals.Len()
-		n.slots[slot] = 0
+		removedRows = t.leaves.At(lp - 1).Vals.Len()
+		n[slot] = 0
 	}
 	t.keys--
 	t.rows -= removedRows
@@ -458,19 +452,15 @@ func (t *Tree) recomputeBounds() {
 }
 
 // Bytes estimates the *physically touched* heap footprint in bytes: the
-// node arenas, leaf headers and payload, plus the root pages that were
-// actually written (the untouched remainder of the 256 MB root is virtual
-// only).
+// node arena, leaf-header arena and payload slab, plus the root pages
+// that were actually written (the untouched remainder of the 256 MB root
+// is virtual only).
 func (t *Tree) Bytes() int {
-	b := len(t.nodes)*nodeSlots*4 + len(t.cnodes)*32
+	b := t.nodes.Bytes() + len(t.cnodes)*32
 	for i := range t.cnodes {
 		b += len(t.cnodes[i].entries) * 4
 	}
-	for _, chunk := range t.leaves.chunks {
-		for i := range chunk {
-			b += 24 + chunk[i].Vals.Bytes()
-		}
-	}
+	b += t.leaves.Len()*leafBytes + t.slab.Bytes()
 	// Root: the directory plus the chunks actually faulted in.
 	b += rootChunks * 8
 	for _, c := range t.root {

@@ -95,10 +95,10 @@ func nodeBitmap(t *Tree, ptr uint32) uint64 {
 	if t.cfg.Compress {
 		return t.cnodes[ptr-1].bitmap
 	}
-	n := &t.nodes[ptr-1]
+	n := t.nodes.Block(ptr - 1)
 	var bm uint64
 	for slot := 0; slot < nodeSlots; slot++ {
-		if n.slots[slot] != 0 {
+		if n[slot] != 0 {
 			bm |= uint64(1) << slot
 		}
 	}

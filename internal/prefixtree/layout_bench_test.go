@@ -1,0 +1,167 @@
+package prefixtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"qppt/internal/prefixtree/ptrtree"
+)
+
+// Layout benchmarks: the arena-backed compact-pointer tree against the
+// retained pointer baseline (package ptrtree), on the hot batched paths
+// the join operators drive. ReportAllocs makes the allocation story part
+// of the regression surface: batched lookups must stay allocation-free
+// (pooled scratch) and batched index builds must allocate chunks, not
+// per-key objects.
+
+const benchTreeKeys = 1 << 17
+
+func benchKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+func benchRows(keys []uint64) [][]uint64 {
+	backing := make([]uint64, len(keys))
+	rows := make([][]uint64, len(keys))
+	for i := range keys {
+		backing[i] = keys[i]
+		rows[i] = backing[i : i+1 : i+1]
+	}
+	return rows
+}
+
+func buildArena(keys []uint64, rows [][]uint64) *Tree {
+	t := MustNew(Config{PayloadWidth: 1})
+	for off := 0; off < len(keys); off += DefaultBatchSize {
+		end := min(off+DefaultBatchSize, len(keys))
+		t.InsertBatch(keys[off:end], rows[off:end])
+	}
+	return t
+}
+
+func buildPointer(keys []uint64, rows [][]uint64) *ptrtree.Tree {
+	t := ptrtree.MustNew(ptrtree.Config{PayloadWidth: 1})
+	for off := 0; off < len(keys); off += DefaultBatchSize {
+		end := min(off+DefaultBatchSize, len(keys))
+		t.InsertBatch(keys[off:end], rows[off:end])
+	}
+	return t
+}
+
+// BenchmarkInsertBatch builds a full index per iteration through the
+// batched insert path; bytes/op is the allocation cost of one index
+// build, the headline number of the layout ablation.
+func BenchmarkInsertBatch(b *testing.B) {
+	keys := benchKeys(benchTreeKeys, 101)
+	rows := benchRows(keys)
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildArena(keys, rows)
+		}
+	})
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildPointer(keys, rows)
+		}
+	})
+}
+
+// BenchmarkLookupBatch probes a pre-built index with batches of present
+// and absent keys; the arena layout must report 0 allocs/op (pooled job
+// scratch).
+func BenchmarkLookupBatch(b *testing.B) {
+	keys := benchKeys(benchTreeKeys, 101)
+	rows := benchRows(keys)
+	probes := append(append([]uint64{}, keys[:benchTreeKeys/2]...),
+		benchKeys(benchTreeKeys/2, 103)...)
+	var sink uint64
+	b.Run("arena", func(b *testing.B) {
+		t := buildArena(keys, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(probes); off += DefaultBatchSize {
+				end := min(off+DefaultBatchSize, len(probes))
+				t.LookupBatch(probes[off:end], func(_ int, lf *Leaf) {
+					if lf != nil {
+						sink += lf.Key
+					}
+				})
+			}
+		}
+	})
+	b.Run("pointer", func(b *testing.B) {
+		t := buildPointer(keys, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(probes); off += DefaultBatchSize {
+				end := min(off+DefaultBatchSize, len(probes))
+				t.LookupBatch(probes[off:end], func(_ int, lf *ptrtree.Leaf) {
+					if lf != nil {
+						sink += lf.Key
+					}
+				})
+			}
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkSyncScan joins two half-overlapping indexes with the
+// synchronous index scan — the skip-heavy kernel whose bucket walks the
+// compact layout accelerates.
+func BenchmarkSyncScan(b *testing.B) {
+	left := benchKeys(benchTreeKeys, 101)
+	right := append(append([]uint64{}, left[:benchTreeKeys/2]...),
+		benchKeys(benchTreeKeys/2, 107)...)
+	var matches int
+	b.Run("arena", func(b *testing.B) {
+		ta := buildArena(left, benchRows(left))
+		tb := buildArena(right, benchRows(right))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			matches = 0
+			SyncScan(ta, tb, func(la, lb *Leaf) bool { matches++; return true })
+		}
+	})
+	b.Run("pointer", func(b *testing.B) {
+		ta := buildPointer(left, benchRows(left))
+		tb := buildPointer(right, benchRows(right))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			matches = 0
+			ptrtree.SyncScan(ta, tb, func(la, lb *ptrtree.Leaf) bool { matches++; return true })
+		}
+	})
+	_ = matches
+}
+
+// TestLookupBatchAllocationFree pins the pooled-scratch satellite: after
+// warm-up, batched lookups on the arena tree allocate nothing.
+func TestLookupBatchAllocationFree(t *testing.T) {
+	keys := benchKeys(1<<12, 101)
+	tr := buildArena(keys, benchRows(keys))
+	tr.LookupBatch(keys[:DefaultBatchSize], func(int, *Leaf) {}) // warm the pool
+	var sink uint64
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.LookupBatch(keys[:DefaultBatchSize], func(_ int, lf *Leaf) {
+			if lf != nil {
+				sink += lf.Key
+			}
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupBatch allocates %.1f objects per batch, want 0", allocs)
+	}
+	_ = sink
+}

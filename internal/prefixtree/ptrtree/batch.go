@@ -1,0 +1,120 @@
+package ptrtree
+
+import "qppt/internal/duplist"
+
+// Batch processing (paper Section 2.3, Algorithm 1).
+//
+// As soon as a tree outgrows the CPU caches, pointer chasing serializes on
+// one cache miss per level. Processing a batch of keys level-by-level makes
+// the per-job loads within one level independent of each other, so the
+// memory system overlaps their misses (the paper additionally issues
+// explicit prefetches; in Go the independent loads themselves provide the
+// memory-level parallelism). QPPT uses this for the join operators'
+// joinbuffers and for buffered intermediate-index inserts.
+
+// DefaultBatchSize is the batch size QPPT uses for joinbuffers and insert
+// buffers when the caller does not choose one; it matches the paper
+// demonstrator's middle setting.
+const DefaultBatchSize = 512
+
+// lookupJob mirrors Algorithm 1's job structure: the key, the current node
+// on the path, and a done flag (signalled here by node == nil).
+type lookupJob struct {
+	key  uint64
+	node *node
+	leaf *Leaf
+}
+
+// LookupBatch resolves all keys and calls visit(i, leaf) for each, where
+// leaf is nil for absent keys. The traversal is level-synchronous: every
+// pass advances every unfinished job by one tree level.
+func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
+	if len(keys) == 0 {
+		return
+	}
+	jobs := make([]lookupJob, len(keys))
+	for i, k := range keys {
+		t.checkKey(k)
+		jobs[i] = lookupJob{key: k, node: t.root}
+	}
+	pending := len(jobs)
+	for level := 0; pending > 0; level++ {
+		for i := range jobs {
+			j := &jobs[i]
+			if j.node == nil {
+				continue
+			}
+			s := &j.node.slots[t.frag(j.key, level)]
+			if s.child != nil {
+				j.node = s.child
+				continue
+			}
+			if s.leaf != nil && s.leaf.Key == j.key {
+				j.leaf = s.leaf
+			}
+			j.node = nil
+			pending--
+		}
+	}
+	for i := range jobs {
+		visit(i, jobs[i].leaf)
+	}
+}
+
+// InsertBatch inserts rows[i] under keys[i] for all i, advancing all jobs
+// level-by-level like LookupBatch. rows may be nil for width-0 trees;
+// otherwise len(rows) must equal len(keys).
+func (t *Tree) InsertBatch(keys []uint64, rows [][]uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	if rows != nil && len(rows) != len(keys) {
+		panic("ptrtree: InsertBatch length mismatch")
+	}
+	jobs := make([]lookupJob, len(keys))
+	for i, k := range keys {
+		t.checkKey(k)
+		jobs[i] = lookupJob{key: k, node: t.root}
+	}
+	pending := len(jobs)
+	for level := 0; pending > 0; level++ {
+		for i := range jobs {
+			j := &jobs[i]
+			if j.node == nil {
+				continue
+			}
+			s := &j.node.slots[t.frag(j.key, level)]
+			switch {
+			case s.child != nil:
+				j.node = s.child
+			case s.leaf == nil:
+				lf := &Leaf{Key: j.key, Vals: duplist.Make(t.cfg.PayloadWidth)}
+				s.leaf = lf
+				t.keys++
+				j.leaf = lf
+				j.node = nil
+				pending--
+			case s.leaf.Key == j.key:
+				j.leaf = s.leaf
+				j.node = nil
+				pending--
+			default:
+				// Collision: expand one level and retry this job at the
+				// new child on the next pass (the resident leaf moves
+				// down, matching the single-key insert path).
+				child := t.newNode()
+				child.slots[t.frag(s.leaf.Key, level+1)].leaf = s.leaf
+				s.leaf = nil
+				s.child = child
+				j.node = child
+			}
+		}
+	}
+	for i := range jobs {
+		var row []uint64
+		if rows != nil {
+			row = rows[i]
+		}
+		t.addRow(jobs[i].leaf, row)
+	}
+}

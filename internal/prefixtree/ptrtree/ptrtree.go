@@ -1,5 +1,13 @@
-// Package prefixtree implements the generalized prefix tree of Böhm et al.
-// as deployed by QPPT (paper Section 2.1, Figure 2(a)).
+// Package ptrtree is the pointer-based generalized prefix tree — the
+// pre-arena layout of package prefixtree, retained verbatim as the
+// baseline for the layout ablation benchmarks and for differential tests
+// (every node slot is a 16-byte {child, leaf} pointer pair and every node,
+// leaf and duplicate segment is an individual GC allocation).
+//
+// New code should use package prefixtree, whose arena-backed
+// compact-pointer layout stores four slots per 16 bytes and allocates per
+// chunk instead of per object. This package exists so the "before" side of
+// that comparison keeps compiling and measuring.
 //
 // The tree is order-preserving and — unlike a B+-Tree — unbalanced: it
 // splits the big-endian binary representation of a key into fragments of an
@@ -11,34 +19,19 @@
 // Because of that, the key cannot always be reconstructed from the path, so
 // content nodes store the complete key for the final comparison.
 //
-// Storage follows the compact-pointer arena layout of the KISS-Tree (paper
-// Section 2.2; Kissinger et al., DaMoN 2012): nodes live in a chunked slot
-// arena and content leaves in a chunked leaf arena (package arena), and a
-// node bucket is a single 32-bit tagged reference — empty, child node, or
-// leaf — instead of a {child, leaf} pointer pair. That packs 4× more
-// buckets into a cache line than the pointer layout (16 slots per line at
-// k′=4), keeps the garbage collector out of tree interiors (a million-node
-// tree is a handful of chunk allocations, not a million scannable
-// objects), and survives arena growth because chunks never move. The
-// pointer-based baseline is retained as package ptrtree for the layout
-// ablation.
-//
 // Duplicates — multiple payload rows per key — are stored in sequential
-// doubling segments (package duplist, paper Section 2.4) carved from a
-// slab owned by the tree, and batched lookups/inserts process many keys
-// level-by-level to overlap their memory accesses (paper Section 2.3,
-// Algorithm 1).
+// doubling segments (package duplist, paper Section 2.4), and batched
+// lookups/inserts process many keys level-by-level to overlap their memory
+// accesses (paper Section 2.3, Algorithm 1).
 //
 // The tree is a single-writer structure: concurrent readers are safe only
 // while no writer is active. QPPT's evaluation is single-threaded by
 // design, matching the paper.
-package prefixtree
+package ptrtree
 
 import (
 	"fmt"
-	"unsafe"
 
-	"qppt/internal/arena"
 	"qppt/internal/duplist"
 )
 
@@ -69,46 +62,41 @@ func (c *Config) normalize() error {
 		c.KeyBits = 64
 	}
 	if c.PrefixLen > 16 {
-		return fmt.Errorf("prefixtree: PrefixLen %d out of range [1,16]", c.PrefixLen)
+		return fmt.Errorf("ptrtree: PrefixLen %d out of range [1,16]", c.PrefixLen)
 	}
 	if c.KeyBits > 64 {
-		return fmt.Errorf("prefixtree: KeyBits %d out of range [1,64]", c.KeyBits)
+		return fmt.Errorf("ptrtree: KeyBits %d out of range [1,64]", c.KeyBits)
 	}
 	if c.PayloadWidth < 0 {
-		return fmt.Errorf("prefixtree: negative PayloadWidth")
+		return fmt.Errorf("ptrtree: negative PayloadWidth")
 	}
 	return nil
 }
-
-// rootNode is the arena ordinal of the root node; it is allocated first
-// and never freed.
-const rootNode uint32 = 0
-
-// leafChunkBits sizes the leaf arena chunks: 4096 leaves (~256 KiB) per
-// chunk, matching the slot-arena chunk granularity.
-const leafChunkBits = 12
 
 // A Tree is a generalized prefix tree mapping uint64 keys to lists of
 // fixed-width payload rows.
 type Tree struct {
 	cfg    Config
+	root   *node
 	levels int    // maximum depth in nodes
 	fanout int    // 2^k′
 	mask   uint64 // fanout-1
 	keys   int    // distinct keys
 	rows   int    // total payload rows
+	nodes  int    // inner node count, for memory accounting
+}
 
-	// nodes stores each inner node as one block of fanout tagged slots;
-	// leaves stores the content nodes. Both arenas have stable addresses,
-	// so *Leaf results stay valid while the tree grows.
-	nodes      arena.Slots
-	leaves     arena.Arena[Leaf]
-	freeLeaves []uint32 // recycled leaf indexes (from Delete)
+// A node holds 2^k′ buckets. Each bucket is empty, points to a child node,
+// or points to a content leaf (dynamic expansion stores leaves as high up
+// as possible).
+type node struct {
+	slots []slot
+}
 
-	// slab feeds duplicate-segment and first-row storage for all of this
-	// tree's lists, so index construction allocates large blocks instead
-	// of per-key objects.
-	slab *duplist.Slab
+// slot is one bucket. At most one of child and leaf is non-nil.
+type slot struct {
+	child *node
+	leaf  *Leaf
 }
 
 // A Leaf is a content node: the full key (required because dynamic
@@ -118,9 +106,6 @@ type Leaf struct {
 	Key  uint64
 	Vals duplist.List
 }
-
-// leafBytes is the in-arena size of one leaf header, for Bytes().
-const leafBytes = int(unsafe.Sizeof(Leaf{}))
 
 // New creates an empty tree. It returns an error for out-of-range
 // configuration values.
@@ -133,11 +118,8 @@ func New(cfg Config) (*Tree, error) {
 		fanout: 1 << cfg.PrefixLen,
 		mask:   uint64(1)<<cfg.PrefixLen - 1,
 		levels: int((cfg.KeyBits + cfg.PrefixLen - 1) / cfg.PrefixLen),
-		nodes:  arena.MakeSlots(1 << cfg.PrefixLen),
-		leaves: arena.Make[Leaf](leafChunkBits),
-		slab:   duplist.NewSlab(),
 	}
-	t.nodes.Alloc() // the root, ordinal 0
+	t.root = t.newNode()
 	return t, nil
 }
 
@@ -148,6 +130,11 @@ func MustNew(cfg Config) *Tree {
 		panic(err)
 	}
 	return t
+}
+
+func (t *Tree) newNode() *node {
+	t.nodes++
+	return &node{slots: make([]slot, t.fanout)}
 }
 
 // frag extracts the key fragment for the given level (0 = root). Fragments
@@ -181,24 +168,8 @@ func (t *Tree) PrefixLen() uint { return t.cfg.PrefixLen }
 // key can never be stored or found and always indicates a caller bug.
 func (t *Tree) checkKey(key uint64) {
 	if t.cfg.KeyBits < 64 && key>>t.cfg.KeyBits != 0 {
-		panic(fmt.Sprintf("prefixtree: key %#x exceeds %d key bits", key, t.cfg.KeyBits))
+		panic(fmt.Sprintf("ptrtree: key %#x exceeds %d key bits", key, t.cfg.KeyBits))
 	}
-}
-
-// leaf returns the address of leaf idx in the arena.
-func (t *Tree) leaf(idx uint32) *Leaf { return t.leaves.At(idx) }
-
-// newLeaf allocates a content node for key, recycling leaves freed by
-// Delete, and returns its arena index.
-func (t *Tree) newLeaf(key uint64) uint32 {
-	t.keys++
-	if k := len(t.freeLeaves); k > 0 {
-		li := t.freeLeaves[k-1]
-		t.freeLeaves = t.freeLeaves[:k-1]
-		*t.leaf(li) = Leaf{Key: key, Vals: duplist.Make(t.cfg.PayloadWidth)}
-		return li
-	}
-	return t.leaves.Alloc(Leaf{Key: key, Vals: duplist.Make(t.cfg.PayloadWidth)})
 }
 
 // Insert adds a payload row under key. With a Fold configured, the row is
@@ -209,48 +180,45 @@ func (t *Tree) Insert(key uint64, row []uint64) {
 	t.addRow(lf, row)
 }
 
-// addRow appends or folds row into lf, maintaining the row count. Storage
-// comes from the tree's slab.
+// addRow appends or folds row into lf, maintaining the row count.
 func (t *Tree) addRow(lf *Leaf, row []uint64) {
 	if t.cfg.Fold != nil {
 		was := lf.Vals.Len()
-		lf.Vals.AggregateIn(t.slab, row, t.cfg.Fold)
+		lf.Vals.Aggregate(row, t.cfg.Fold)
 		t.rows += lf.Vals.Len() - was
 		return
 	}
-	lf.Vals.AppendIn(t.slab, row)
+	lf.Vals.Append(row)
 	t.rows++
 }
 
 // leafFor finds or creates the content node for key, applying dynamic
 // expansion on collision.
 func (t *Tree) leafFor(key uint64) *Leaf {
-	n := rootNode
+	n := t.root
 	for level := 0; ; level++ {
-		blk := t.nodes.Block(n)
-		f := t.frag(key, level)
-		r := arena.Ref(blk[f])
-		if !r.IsNil() && !r.IsLeaf() {
-			n = r.Index()
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
 			continue
 		}
-		if r.IsNil() {
-			li := t.newLeaf(key)
-			blk[f] = uint32(arena.LeafRef(li))
-			return t.leaf(li)
-		}
-		li := r.Index()
-		lf := t.leaf(li)
-		if lf.Key == key {
+		if s.leaf == nil {
+			lf := &Leaf{Key: key, Vals: duplist.Make(t.cfg.PayloadWidth)}
+			s.leaf = lf
+			t.keys++
 			return lf
+		}
+		if s.leaf.Key == key {
+			return s.leaf
 		}
 		// Collision: expand by one level, pushing the resident leaf down.
 		// The loop retries the same key at the new child; keys differ, so
 		// their fragment paths split within t.levels levels and the loop
-		// terminates. blk stays valid across Alloc: chunks never move.
-		child := t.nodes.Alloc()
-		t.nodes.Block(child)[t.frag(lf.Key, level+1)] = uint32(r)
-		blk[f] = uint32(arena.NodeRef(child))
+		// terminates.
+		child := t.newNode()
+		child.slots[t.frag(s.leaf.Key, level+1)].leaf = s.leaf
+		s.leaf = nil
+		s.child = child
 		n = child
 	}
 }
@@ -258,20 +226,17 @@ func (t *Tree) leafFor(key uint64) *Leaf {
 // Lookup returns the leaf for key, or nil if the key is absent.
 func (t *Tree) Lookup(key uint64) *Leaf {
 	t.checkKey(key)
-	n := rootNode
+	n := t.root
 	for level := 0; ; level++ {
-		r := arena.Ref(t.nodes.Block(n)[t.frag(key, level)])
-		if r.IsNil() {
-			return nil
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
+			continue
 		}
-		if r.IsLeaf() {
-			lf := t.leaf(r.Index())
-			if lf.Key == key {
-				return lf
-			}
-			return nil
+		if s.leaf != nil && s.leaf.Key == key {
+			return s.leaf
 		}
-		n = r.Index()
+		return nil
 	}
 }
 
@@ -279,53 +244,44 @@ func (t *Tree) Lookup(key uint64) *Leaf {
 func (t *Tree) Contains(key uint64) bool { return t.Lookup(key) != nil }
 
 // Delete removes key and all its rows, reporting whether it was present.
-// Emptied inner nodes along the path are unlinked and recycled so
-// iteration stays proportional to live content. The leaf header is
-// recycled too; its slab-backed payload segments are only reclaimed when
-// the whole tree is dropped — deletes are rare on QPPT intermediate
-// indexes, which are built once and then only read.
+// Emptied inner nodes along the path are unlinked so iteration stays
+// proportional to live content.
 func (t *Tree) Delete(key uint64) bool {
 	t.checkKey(key)
-	var path [65]uint32
-	n := rootNode
+	var path [65]*node
+	n := t.root
 	level := 0
 	for {
 		path[level] = n
-		r := arena.Ref(t.nodes.Block(n)[t.frag(key, level)])
-		if r.IsNil() {
-			return false
-		}
-		if !r.IsLeaf() {
-			n = r.Index()
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
 			level++
 			continue
 		}
-		li := r.Index()
-		lf := t.leaf(li)
-		if lf.Key != key {
+		if s.leaf == nil || s.leaf.Key != key {
 			return false
 		}
 		t.keys--
-		t.rows -= lf.Vals.Len()
-		*lf = Leaf{} // drop row storage references before recycling
-		t.freeLeaves = append(t.freeLeaves, li)
-		t.nodes.Block(n)[t.frag(key, level)] = uint32(arena.Nil)
+		t.rows -= s.leaf.Vals.Len()
+		s.leaf = nil
 		break
 	}
-	// Unlink and recycle now-empty nodes bottom-up (the root always stays).
+	// Unlink now-empty nodes bottom-up (the root always stays).
 	for l := level; l > 0; l-- {
-		if !t.emptyNode(path[l]) {
+		if !path[l].empty() {
 			break
 		}
-		t.nodes.Block(path[l-1])[t.frag(key, l-1)] = uint32(arena.Nil)
-		t.nodes.Free(path[l])
+		parent := path[l-1]
+		parent.slots[t.frag(key, l-1)] = slot{}
+		t.nodes--
 	}
 	return true
 }
 
-func (t *Tree) emptyNode(n uint32) bool {
-	for _, v := range t.nodes.Block(n) {
-		if v != uint32(arena.Nil) {
+func (n *node) empty() bool {
+	for i := range n.slots {
+		if n.slots[i].child != nil || n.slots[i].leaf != nil {
 			return false
 		}
 	}
@@ -335,20 +291,18 @@ func (t *Tree) emptyNode(n uint32) bool {
 // Iterate visits every leaf in ascending key order. It stops early if visit
 // returns false and reports whether the scan ran to completion.
 func (t *Tree) Iterate(visit func(lf *Leaf) bool) bool {
-	return t.iterate(rootNode, visit)
+	return iterate(t.root, visit)
 }
 
-func (t *Tree) iterate(n uint32, visit func(lf *Leaf) bool) bool {
-	for _, v := range t.nodes.Block(n) {
-		r := arena.Ref(v)
-		switch {
-		case r.IsNil():
-		case r.IsLeaf():
-			if !visit(t.leaf(r.Index())) {
+func iterate(n *node, visit func(lf *Leaf) bool) bool {
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.leaf != nil {
+			if !visit(s.leaf) {
 				return false
 			}
-		default:
-			if !t.iterate(r.Index(), visit) {
+		} else if s.child != nil {
+			if !iterate(s.child, visit) {
 				return false
 			}
 		}
@@ -365,46 +319,43 @@ func (t *Tree) Range(lo, hi uint64, visit func(lf *Leaf) bool) bool {
 	if lo > hi {
 		return true
 	}
-	return t.rangeNode(rootNode, 0, lo, hi, visit)
+	return t.rangeNode(t.root, 0, lo, hi, visit)
 }
 
-func (t *Tree) rangeNode(n uint32, level int, lo, hi uint64, visit func(lf *Leaf) bool) bool {
+func (t *Tree) rangeNode(n *node, level int, lo, hi uint64, visit func(lf *Leaf) bool) bool {
 	// Restrict the fragment window at this level using the bounds' paths.
 	// Only the first and last qualifying buckets need recursive bound
 	// checks; buckets strictly between them are fully inside the range.
-	blk := t.nodes.Block(n)
 	loFrag := t.frag(lo, level)
 	hiFrag := t.frag(hi, level)
 	for f := loFrag; f <= hiFrag; f++ {
-		r := arena.Ref(blk[f])
-		if r.IsNil() {
-			continue
-		}
-		if r.IsLeaf() {
-			lf := t.leaf(r.Index())
-			if lf.Key >= lo && lf.Key <= hi {
-				if !visit(lf) {
+		s := &n.slots[f]
+		if s.leaf != nil {
+			if s.leaf.Key >= lo && s.leaf.Key <= hi {
+				if !visit(s.leaf) {
 					return false
 				}
 			}
 			continue
 		}
-		child := r.Index()
+		if s.child == nil {
+			continue
+		}
 		switch {
 		case f == loFrag && f == hiFrag:
-			if !t.rangeNode(child, level+1, lo, hi, visit) {
+			if !t.rangeNode(s.child, level+1, lo, hi, visit) {
 				return false
 			}
 		case f == loFrag:
-			if !t.rangeNode(child, level+1, lo, t.keyMax(), visit) {
+			if !t.rangeNode(s.child, level+1, lo, t.keyMax(), visit) {
 				return false
 			}
 		case f == hiFrag:
-			if !t.rangeNode(child, level+1, 0, hi, visit) {
+			if !t.rangeNode(s.child, level+1, 0, hi, visit) {
 				return false
 			}
 		default:
-			if !t.iterate(child, visit) {
+			if !iterate(s.child, visit) {
 				return false
 			}
 		}
@@ -435,50 +386,53 @@ func (t *Tree) Min() (key uint64, ok bool) {
 
 // Max returns the largest key in the tree; ok is false if the tree is
 // empty.
-func (t *Tree) Max() (uint64, bool) {
-	n := rootNode
+func (t *Tree) Max() (key uint64, ok bool) {
+	n := t.root
 	for {
-		blk := t.nodes.Block(n)
-		last := arena.Nil
+		var last *slot
 		for i := t.fanout - 1; i >= 0; i-- {
-			if r := arena.Ref(blk[i]); !r.IsNil() {
-				last = r
+			s := &n.slots[i]
+			if s.child != nil || s.leaf != nil {
+				last = s
 				break
 			}
 		}
-		if last.IsNil() {
+		if last == nil {
 			return 0, false
 		}
-		if last.IsLeaf() {
-			return t.leaf(last.Index()).Key, true
+		if last.leaf != nil {
+			return last.leaf.Key, true
 		}
-		n = last.Index()
+		n = last.child
 	}
 }
 
-// Bytes estimates the heap footprint of the tree in bytes: the node slot
-// arena, the leaf arena, and the slab holding all payload rows and
-// duplicate segments.
+// Bytes estimates the heap footprint of the tree in bytes: inner nodes plus
+// leaf headers plus payload segments. Used by the k′ memory ablation.
 func (t *Tree) Bytes() int {
-	return t.nodes.Bytes() + t.leaves.Len()*leafBytes + t.slab.Bytes()
+	b := t.nodes * (t.fanout*16 + 24) // slots (two pointers each) + node header
+	t.Iterate(func(lf *Leaf) bool {
+		b += 32 + lf.Vals.Bytes() // leaf header + payload
+		return true
+	})
+	return b
 }
 
-// Nodes reports the number of live inner nodes, for memory accounting
-// tests.
-func (t *Tree) Nodes() int { return t.nodes.Live() }
+// Nodes reports the number of inner nodes, for memory accounting tests.
+func (t *Tree) Nodes() int { return t.nodes }
 
 // MaxDepth returns the deepest leaf level currently present (root = level
 // 0). A freshly filled dense tree of n keys has depth ~ log2(n)/k′ thanks
 // to dynamic expansion.
 func (t *Tree) MaxDepth() int {
-	return t.maxDepth(rootNode, 0)
+	return maxDepth(t.root, 0)
 }
 
-func (t *Tree) maxDepth(n uint32, level int) int {
+func maxDepth(n *node, level int) int {
 	d := level
-	for _, v := range t.nodes.Block(n) {
-		if r := arena.Ref(v); !r.IsNil() && !r.IsLeaf() {
-			if cd := t.maxDepth(r.Index(), level+1); cd > d {
+	for i := range n.slots {
+		if c := n.slots[i].child; c != nil {
+			if cd := maxDepth(c, level+1); cd > d {
 				d = cd
 			}
 		}

@@ -1,0 +1,149 @@
+package ptrtree
+
+// Synchronous index scan (paper Section 4.2, Figure 6).
+//
+// Two unbalanced tries are scanned simultaneously from left to right. Only
+// when a bucket is populated in *both* trees does the scan suspend on the
+// current nodes and descend synchronously into both children; buckets used
+// by only one tree are skipped without ever touching their subtrees. This
+// is the join kernel of QPPT — and, through the same visit mechanism, the
+// kernel of the intersect and distinct-union set operators.
+
+// SyncScan visits, in ascending key order, every key present in both a and
+// b, passing both leaves. The trees must agree on PrefixLen and KeyBits so
+// their fragment grids line up; SyncScan panics otherwise, since silently
+// joining misaligned trees would drop matches. It stops early if visit
+// returns false and reports whether the scan ran to completion.
+func SyncScan(a, b *Tree, visit func(la, lb *Leaf) bool) bool {
+	if a.cfg.PrefixLen != b.cfg.PrefixLen || a.cfg.KeyBits != b.cfg.KeyBits {
+		panic("ptrtree: SyncScan on trees with different geometry")
+	}
+	return syncNodes(a, a.root, b.root, 0, visit)
+}
+
+// syncNodes scans two nodes that sit at the same depth (level) in their
+// respective trees.
+func syncNodes(t *Tree, na, nb *node, level int, visit func(la, lb *Leaf) bool) bool {
+	for f := 0; f < t.fanout; f++ {
+		sa, sb := &na.slots[f], &nb.slots[f]
+		if (sa.child == nil && sa.leaf == nil) || (sb.child == nil && sb.leaf == nil) {
+			continue // bucket unused in at least one index: skip the descent
+		}
+		switch {
+		case sa.leaf != nil && sb.leaf != nil:
+			if sa.leaf.Key == sb.leaf.Key {
+				if !visit(sa.leaf, sb.leaf) {
+					return false
+				}
+			}
+		case sa.leaf != nil: // a stored a content node high up, b has a subtree
+			if lb := descend(t, sb.child, sa.leaf.Key, level+1); lb != nil {
+				if !visit(sa.leaf, lb) {
+					return false
+				}
+			}
+		case sb.leaf != nil: // b stored a content node high up, a has a subtree
+			if la := descend(t, sa.child, sb.leaf.Key, level+1); la != nil {
+				if !visit(la, sb.leaf) {
+					return false
+				}
+			}
+		default: // both inner: suspend here, scan the children synchronously
+			if !syncNodes(t, sa.child, sb.child, level+1, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SyncScanRange is SyncScan restricted to keys in [lo, hi]. It is the
+// partitioning primitive for intra-operator parallelism (paper Section 7):
+// the unbalanced tree splits deterministically into disjoint key-range
+// subtrees, so concurrent workers can scan disjoint ranges of the same
+// tree pair without coordination.
+func SyncScanRange(a, b *Tree, lo, hi uint64, visit func(la, lb *Leaf) bool) bool {
+	if a.cfg.PrefixLen != b.cfg.PrefixLen || a.cfg.KeyBits != b.cfg.KeyBits {
+		panic("ptrtree: SyncScanRange on trees with different geometry")
+	}
+	if lo > hi {
+		return true
+	}
+	return syncNodesRange(a, a.root, b.root, 0, lo, hi, visit)
+}
+
+// syncNodesRange is syncNodes with [lo, hi] bounds, handled exactly like
+// Tree.rangeNode: only the edge fragments need recursive bound checks.
+func syncNodesRange(t *Tree, na, nb *node, level int, lo, hi uint64, visit func(la, lb *Leaf) bool) bool {
+	loFrag := t.frag(lo, level)
+	hiFrag := t.frag(hi, level)
+	for f := loFrag; f <= hiFrag; f++ {
+		sa, sb := &na.slots[f], &nb.slots[f]
+		if (sa.child == nil && sa.leaf == nil) || (sb.child == nil && sb.leaf == nil) {
+			continue
+		}
+		switch {
+		case sa.leaf != nil && sb.leaf != nil:
+			if sa.leaf.Key == sb.leaf.Key && sa.leaf.Key >= lo && sa.leaf.Key <= hi {
+				if !visit(sa.leaf, sb.leaf) {
+					return false
+				}
+			}
+		case sa.leaf != nil:
+			if sa.leaf.Key >= lo && sa.leaf.Key <= hi {
+				if lb := descend(t, sb.child, sa.leaf.Key, level+1); lb != nil {
+					if !visit(sa.leaf, lb) {
+						return false
+					}
+				}
+			}
+		case sb.leaf != nil:
+			if sb.leaf.Key >= lo && sb.leaf.Key <= hi {
+				if la := descend(t, sa.child, sb.leaf.Key, level+1); la != nil {
+					if !visit(la, sb.leaf) {
+						return false
+					}
+				}
+			}
+		default:
+			switch {
+			case f == loFrag && f == hiFrag:
+				if !syncNodesRange(t, sa.child, sb.child, level+1, lo, hi, visit) {
+					return false
+				}
+			case f == loFrag:
+				if !syncNodesRange(t, sa.child, sb.child, level+1, lo, t.keyMax(), visit) {
+					return false
+				}
+			case f == hiFrag:
+				if !syncNodesRange(t, sa.child, sb.child, level+1, 0, hi, visit) {
+					return false
+				}
+			default:
+				if !syncNodes(t, sa.child, sb.child, level+1, visit) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// descend resolves key in the subtree rooted at n, where n sits at the
+// given depth. This covers the asymmetric case where dynamic expansion
+// stored a key as a shallow content node in one tree while the other tree
+// grew a subtree under the same fragment path.
+func descend(t *Tree, n *node, key uint64, level int) *Leaf {
+	for {
+		s := &n.slots[t.frag(key, level)]
+		if s.child != nil {
+			n = s.child
+			level++
+			continue
+		}
+		if s.leaf != nil && s.leaf.Key == key {
+			return s.leaf
+		}
+		return nil
+	}
+}

@@ -1,5 +1,7 @@
 package prefixtree
 
+import "qppt/internal/arena"
+
 // Synchronous index scan (paper Section 4.2, Figure 6).
 //
 // Two unbalanced tries are scanned simultaneously from left to right. Only
@@ -8,6 +10,11 @@ package prefixtree
 // by only one tree are skipped without ever touching their subtrees. This
 // is the join kernel of QPPT — and, through the same visit mechanism, the
 // kernel of the intersect and distinct-union set operators.
+//
+// With the compact-pointer layout a node is a run of fanout uint32 slots,
+// so the lockstep bucket walk reads both nodes at 16 buckets per cache
+// line (k′=4) instead of 4 — the skip decisions that dominate a sparse
+// scan touch a quarter of the memory they used to.
 
 // SyncScan visits, in ascending key order, every key present in both a and
 // b, passing both leaves. The trees must agree on PrefixLen and KeyBits so
@@ -18,38 +25,42 @@ func SyncScan(a, b *Tree, visit func(la, lb *Leaf) bool) bool {
 	if a.cfg.PrefixLen != b.cfg.PrefixLen || a.cfg.KeyBits != b.cfg.KeyBits {
 		panic("prefixtree: SyncScan on trees with different geometry")
 	}
-	return syncNodes(a, a.root, b.root, 0, visit)
+	return syncNodes(a, b, rootNode, rootNode, 0, visit)
 }
 
 // syncNodes scans two nodes that sit at the same depth (level) in their
-// respective trees.
-func syncNodes(t *Tree, na, nb *node, level int, visit func(la, lb *Leaf) bool) bool {
-	for f := 0; f < t.fanout; f++ {
-		sa, sb := &na.slots[f], &nb.slots[f]
-		if (sa.child == nil && sa.leaf == nil) || (sb.child == nil && sb.leaf == nil) {
+// respective trees. na/nb are node ordinals in their owning tree's arena.
+func syncNodes(a, b *Tree, na, nb uint32, level int, visit func(la, lb *Leaf) bool) bool {
+	ba, bb := a.nodes.Block(na), b.nodes.Block(nb)
+	for f := 0; f < a.fanout; f++ {
+		ra, rb := arena.Ref(ba[f]), arena.Ref(bb[f])
+		if ra.IsNil() || rb.IsNil() {
 			continue // bucket unused in at least one index: skip the descent
 		}
 		switch {
-		case sa.leaf != nil && sb.leaf != nil:
-			if sa.leaf.Key == sb.leaf.Key {
-				if !visit(sa.leaf, sb.leaf) {
+		case ra.IsLeaf() && rb.IsLeaf():
+			la, lb := a.leaf(ra.Index()), b.leaf(rb.Index())
+			if la.Key == lb.Key {
+				if !visit(la, lb) {
 					return false
 				}
 			}
-		case sa.leaf != nil: // a stored a content node high up, b has a subtree
-			if lb := descend(t, sb.child, sa.leaf.Key, level+1); lb != nil {
-				if !visit(sa.leaf, lb) {
+		case ra.IsLeaf(): // a stored a content node high up, b has a subtree
+			la := a.leaf(ra.Index())
+			if lb := descend(b, rb.Index(), la.Key, level+1); lb != nil {
+				if !visit(la, lb) {
 					return false
 				}
 			}
-		case sb.leaf != nil: // b stored a content node high up, a has a subtree
-			if la := descend(t, sa.child, sb.leaf.Key, level+1); la != nil {
-				if !visit(la, sb.leaf) {
+		case rb.IsLeaf(): // b stored a content node high up, a has a subtree
+			lb := b.leaf(rb.Index())
+			if la := descend(a, ra.Index(), lb.Key, level+1); la != nil {
+				if !visit(la, lb) {
 					return false
 				}
 			}
 		default: // both inner: suspend here, scan the children synchronously
-			if !syncNodes(t, sa.child, sb.child, level+1, visit) {
+			if !syncNodes(a, b, ra.Index(), rb.Index(), level+1, visit) {
 				return false
 			}
 		}
@@ -69,58 +80,63 @@ func SyncScanRange(a, b *Tree, lo, hi uint64, visit func(la, lb *Leaf) bool) boo
 	if lo > hi {
 		return true
 	}
-	return syncNodesRange(a, a.root, b.root, 0, lo, hi, visit)
+	return syncNodesRange(a, b, rootNode, rootNode, 0, lo, hi, visit)
 }
 
 // syncNodesRange is syncNodes with [lo, hi] bounds, handled exactly like
 // Tree.rangeNode: only the edge fragments need recursive bound checks.
-func syncNodesRange(t *Tree, na, nb *node, level int, lo, hi uint64, visit func(la, lb *Leaf) bool) bool {
-	loFrag := t.frag(lo, level)
-	hiFrag := t.frag(hi, level)
+func syncNodesRange(a, b *Tree, na, nb uint32, level int, lo, hi uint64, visit func(la, lb *Leaf) bool) bool {
+	ba, bb := a.nodes.Block(na), b.nodes.Block(nb)
+	loFrag := a.frag(lo, level)
+	hiFrag := a.frag(hi, level)
 	for f := loFrag; f <= hiFrag; f++ {
-		sa, sb := &na.slots[f], &nb.slots[f]
-		if (sa.child == nil && sa.leaf == nil) || (sb.child == nil && sb.leaf == nil) {
+		ra, rb := arena.Ref(ba[f]), arena.Ref(bb[f])
+		if ra.IsNil() || rb.IsNil() {
 			continue
 		}
 		switch {
-		case sa.leaf != nil && sb.leaf != nil:
-			if sa.leaf.Key == sb.leaf.Key && sa.leaf.Key >= lo && sa.leaf.Key <= hi {
-				if !visit(sa.leaf, sb.leaf) {
+		case ra.IsLeaf() && rb.IsLeaf():
+			la, lb := a.leaf(ra.Index()), b.leaf(rb.Index())
+			if la.Key == lb.Key && la.Key >= lo && la.Key <= hi {
+				if !visit(la, lb) {
 					return false
 				}
 			}
-		case sa.leaf != nil:
-			if sa.leaf.Key >= lo && sa.leaf.Key <= hi {
-				if lb := descend(t, sb.child, sa.leaf.Key, level+1); lb != nil {
-					if !visit(sa.leaf, lb) {
+		case ra.IsLeaf():
+			la := a.leaf(ra.Index())
+			if la.Key >= lo && la.Key <= hi {
+				if lb := descend(b, rb.Index(), la.Key, level+1); lb != nil {
+					if !visit(la, lb) {
 						return false
 					}
 				}
 			}
-		case sb.leaf != nil:
-			if sb.leaf.Key >= lo && sb.leaf.Key <= hi {
-				if la := descend(t, sa.child, sb.leaf.Key, level+1); la != nil {
-					if !visit(la, sb.leaf) {
+		case rb.IsLeaf():
+			lb := b.leaf(rb.Index())
+			if lb.Key >= lo && lb.Key <= hi {
+				if la := descend(a, ra.Index(), lb.Key, level+1); la != nil {
+					if !visit(la, lb) {
 						return false
 					}
 				}
 			}
 		default:
+			ca, cb := ra.Index(), rb.Index()
 			switch {
 			case f == loFrag && f == hiFrag:
-				if !syncNodesRange(t, sa.child, sb.child, level+1, lo, hi, visit) {
+				if !syncNodesRange(a, b, ca, cb, level+1, lo, hi, visit) {
 					return false
 				}
 			case f == loFrag:
-				if !syncNodesRange(t, sa.child, sb.child, level+1, lo, t.keyMax(), visit) {
+				if !syncNodesRange(a, b, ca, cb, level+1, lo, a.keyMax(), visit) {
 					return false
 				}
 			case f == hiFrag:
-				if !syncNodesRange(t, sa.child, sb.child, level+1, 0, hi, visit) {
+				if !syncNodesRange(a, b, ca, cb, level+1, 0, hi, visit) {
 					return false
 				}
 			default:
-				if !syncNodes(t, sa.child, sb.child, level+1, visit) {
+				if !syncNodes(a, b, ca, cb, level+1, visit) {
 					return false
 				}
 			}
@@ -129,21 +145,23 @@ func syncNodesRange(t *Tree, na, nb *node, level int, lo, hi uint64, visit func(
 	return true
 }
 
-// descend resolves key in the subtree rooted at n, where n sits at the
-// given depth. This covers the asymmetric case where dynamic expansion
-// stored a key as a shallow content node in one tree while the other tree
-// grew a subtree under the same fragment path.
-func descend(t *Tree, n *node, key uint64, level int) *Leaf {
+// descend resolves key in the subtree rooted at node ordinal n of t, where
+// n sits at the given depth. This covers the asymmetric case where dynamic
+// expansion stored a key as a shallow content node in one tree while the
+// other tree grew a subtree under the same fragment path.
+func descend(t *Tree, n uint32, key uint64, level int) *Leaf {
 	for {
-		s := &n.slots[t.frag(key, level)]
-		if s.child != nil {
-			n = s.child
-			level++
-			continue
+		r := arena.Ref(t.nodes.Block(n)[t.frag(key, level)])
+		if r.IsNil() {
+			return nil
 		}
-		if s.leaf != nil && s.leaf.Key == key {
-			return s.leaf
+		if r.IsLeaf() {
+			if lf := t.leaf(r.Index()); lf.Key == key {
+				return lf
+			}
+			return nil
 		}
-		return nil
+		n = r.Index()
+		level++
 	}
 }

@@ -123,9 +123,9 @@ func TestPlanKnobsPreserveResults(t *testing.T) {
 			{UseSelectJoin: true, Exec: core.Options{BufferSize: 1}},
 			{UseSelectJoin: true, Exec: core.Options{BufferSize: 64}},
 			{UseSelectJoin: false, Exec: core.Options{BufferSize: 2048}},
-			{UseSelectJoin: true, Exec: core.Options{Parallel: true}},
+			{UseSelectJoin: true, Exec: core.Options{Workers: core.WorkersAuto}},
 			{UseSelectJoin: true, Exec: core.Options{Workers: 4}},
-			{UseSelectJoin: false, Exec: core.Options{Workers: 3, Parallel: true}},
+			{UseSelectJoin: false, Exec: core.Options{Workers: 3}},
 		}
 		if qid == "4.1" {
 			for a := 2; a <= 5; a++ {

@@ -4,11 +4,19 @@
 //
 //	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|layout|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
-//	          [-workers N] [-morsels M] [-benchjson BENCH_qppt.json]
+//	          [-workers N] [-morsels M] [-membudget 256MiB]
+//	          [-benchjson BENCH_qppt.json] [-benchlabel PR-3]
 //
-// -benchjson writes a machine-readable perf snapshot (per-query ms, the
-// arena-vs-pointer layout ablation, index build costs) to the given path,
-// so the perf trajectory is tracked across PRs.
+// -benchjson appends a machine-readable perf snapshot (per-query ms, the
+// arena-vs-pointer layout ablation, index build costs) to the snapshot
+// history in the given file, so the perf trajectory accumulates across
+// PRs; -benchlabel names the snapshot. A pre-history file holding a single
+// snapshot object is absorbed as the first history entry.
+//
+// -membudget runs the figure-7 QPPT rows a second time under that
+// intermediate-index memory budget (index spilling enabled) and records
+// them with a membudget= config label — the spill-enabled configuration of
+// the perf trajectory. Accepts plain bytes or K/M/G suffixes.
 //
 // -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
 // shared worker pool of that size (morsel-driven parallelism); -morsels
@@ -29,20 +37,60 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"qppt/internal/bench"
 	"qppt/internal/core"
+	"qppt/internal/spill"
 	"qppt/internal/ssb"
 )
 
-// benchSnapshot is the -benchjson payload: one perf record per run, good
-// for diffing across PRs.
+// benchSnapshot is one perf record. -benchjson appends it to the snapshot
+// history so per-PR records accumulate into a perf trajectory.
 type benchSnapshot struct {
-	SF      float64           `json:"sf"`
-	Workers int               `json:"workers"`
-	GoMaxP  int               `json:"gomaxprocs"`
-	Queries []bench.QueryTime `json:"queries,omitempty"`
-	Layout  []bench.LayoutRow `json:"layout,omitempty"`
+	Label     string            `json:"label,omitempty"`
+	When      string            `json:"when,omitempty"`
+	SF        float64           `json:"sf"`
+	Workers   int               `json:"workers"`
+	GoMaxP    int               `json:"gomaxprocs"`
+	MemBudget int64             `json:"membudget,omitempty"`
+	Queries   []bench.QueryTime `json:"queries,omitempty"`
+	Layout    []bench.LayoutRow `json:"layout,omitempty"`
+}
+
+// benchHistory is the BENCH_qppt.json layout: snapshots in append order.
+type benchHistory struct {
+	Snapshots []benchSnapshot `json:"snapshots"`
+}
+
+// appendSnapshot loads the history at path (absorbing a legacy single-
+// snapshot file), appends snap, and writes it back. An existing file that
+// cannot be read or parsed is an error — silently replacing it would
+// discard the accumulated perf trajectory.
+func appendSnapshot(path string, snap benchSnapshot) error {
+	var hist benchHistory
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// First snapshot: start a fresh history.
+	case err != nil:
+		return fmt.Errorf("read %s: %w", path, err)
+	default:
+		if jerr := json.Unmarshal(data, &hist); jerr != nil || len(hist.Snapshots) == 0 {
+			var legacy benchSnapshot
+			if jerr2 := json.Unmarshal(data, &legacy); jerr2 == nil && (legacy.Queries != nil || legacy.Layout != nil) {
+				hist.Snapshots = []benchSnapshot{legacy}
+			} else if jerr != nil {
+				return fmt.Errorf("parse %s (refusing to overwrite history): %w", path, jerr)
+			}
+		}
+	}
+	hist.Snapshots = append(hist.Snapshots, snap)
+	out, err := json.MarshalIndent(&hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func main() {
@@ -53,10 +101,24 @@ func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
 	workers := flag.Int("workers", 1, "shared worker pool size for the QPPT engine (1 = serial, the paper's mode)")
 	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
-	benchjson := flag.String("benchjson", "", "write a JSON perf snapshot (query times, layout ablation) to this path")
+	membudget := flag.String("membudget", "", "also time the fig-7 QPPT rows under this intermediate-index memory budget (index spilling; e.g. 256MiB)")
+	benchjson := flag.String("benchjson", "", "append a JSON perf snapshot (query times, layout ablation) to the history in this file")
+	benchlabel := flag.String("benchlabel", "", "label for the appended perf snapshot (e.g. the PR number)")
 	flag.Parse()
 	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels}
-	snap := benchSnapshot{SF: *sf, Workers: *workers, GoMaxP: runtime.GOMAXPROCS(0)}
+	var budget int64
+	if *membudget != "" {
+		b, err := spill.ParseBytes(*membudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -membudget: %v\n", err)
+			os.Exit(2)
+		}
+		budget = b
+	}
+	snap := benchSnapshot{
+		Label: *benchlabel, When: time.Now().UTC().Format(time.RFC3339),
+		SF: *sf, Workers: *workers, GoMaxP: runtime.GOMAXPROCS(0), MemBudget: budget,
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesFlag, ",") {
@@ -107,6 +169,17 @@ func main() {
 		}
 		printQueryTimes(rows)
 		snap.Queries = append(snap.Queries, rows...)
+		if budget > 0 {
+			fmt.Printf("=== Figure 7 (QPPT rows) under -membudget %s (index spilling) [ms] ===\n", *membudget)
+			spillExec := exec
+			spillExec.MemBudget = budget
+			srows, err := bench.QPPTTimes(dataset(), *reps, spillExec, fmt.Sprintf("membudget=%s", *membudget))
+			if err != nil {
+				fatal(err)
+			}
+			printQueryTimes(srows)
+			snap.Queries = append(snap.Queries, srows...)
+		}
 	}
 	if wants("8") {
 		fmt.Println("=== Figure 8: SSB Q1.1 with and without select-join [ms] ===")
@@ -193,14 +266,10 @@ func main() {
 		snap.Layout = rows
 	}
 	if *benchjson != "" {
-		data, err := json.MarshalIndent(&snap, "", "  ")
-		if err != nil {
+		if err := appendSnapshot(*benchjson, snap); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote perf snapshot to %s\n", *benchjson)
+		fmt.Printf("appended perf snapshot to %s\n", *benchjson)
 	}
 }
 

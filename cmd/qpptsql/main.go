@@ -4,7 +4,12 @@
 // Usage:
 //
 //	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
-//	        [-workers N] [-morsels M]
+//	        [-workers N] [-morsels M] [-membudget 256MiB]
+//
+// -membudget caps the resident bytes of each plan's intermediate indexes;
+// cold intermediates spill to temp files and are restored on next access
+// (index spilling — results are identical, \stats shows the traffic).
+// Accepts plain bytes or K/M/G suffixes (powers of 1024).
 //
 // Meta commands inside the shell:
 //
@@ -24,6 +29,7 @@ import (
 	"strings"
 
 	"qppt/internal/core"
+	"qppt/internal/spill"
 	"qppt/internal/sql"
 	"qppt/internal/ssb"
 )
@@ -35,7 +41,18 @@ func main() {
 	buffer := flag.Int("buffer", 512, "joinbuffer/selectionbuffer size (1 disables batching)")
 	workers := flag.Int("workers", 1, "shared worker pool size for morsel-driven parallel execution (1 = serial)")
 	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
+	membudget := flag.String("membudget", "", "intermediate-index memory budget (e.g. 256MiB); empty = unlimited, no spilling")
 	flag.Parse()
+
+	var budget int64
+	if *membudget != "" {
+		b, err := spill.ParseBytes(*membudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpptsql:", err)
+			os.Exit(2)
+		}
+		budget = b
+	}
 
 	fmt.Printf("loading SSB at SF=%g...\n", *sf)
 	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 42})
@@ -81,14 +98,14 @@ func main() {
 				continue
 			}
 			fmt.Println(text)
-			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels))
+			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels, budget))
 			prompt()
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte(' ')
 		if strings.HasSuffix(line, ";") {
-			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels))
+			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels, budget))
 			buf.Reset()
 		}
 		prompt()
@@ -96,8 +113,8 @@ func main() {
 }
 
 // exec assembles the execution options from the shell flags.
-func exec(buffer, workers, morsels int) core.Options {
-	return core.Options{BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels}
+func exec(buffer, workers, morsels int, membudget int64) core.Options {
+	return core.Options{BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels, MemBudget: membudget}
 }
 
 func run(planner *sql.Planner, text string, stats, noSJ bool, exec core.Options) {

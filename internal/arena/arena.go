@@ -17,6 +17,7 @@ package arena
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 )
 
 // Ref is a tagged 32-bit compact pointer: one slot of a tree node. The
@@ -96,6 +97,23 @@ func (a *Arena[T]) Alloc(v T) uint32 {
 
 // Len reports the number of elements allocated.
 func (a *Arena[T]) Len() int { return a.n }
+
+// Bytes reports the element memory reserved by the arena. Chunks are
+// allocated at full capacity (Alloc's make([]T, 0, 1<<bits) commits the
+// whole chunk), so the reserved capacity — not just the appended elements —
+// is what actually sits in the heap; eviction policies key off this number.
+func (a *Arena[T]) Bytes() int {
+	var zero T
+	return len(a.chunks) * (1 << a.bits) * int(unsafe.Sizeof(zero))
+}
+
+// Reset drops every chunk, returning the arena to its post-Make state (the
+// chunk geometry is kept). Spilling uses it to detach element storage after
+// the elements were written out, and again to rebuild the arena on thaw.
+func (a *Arena[T]) Reset() {
+	a.chunks = nil
+	a.n = 0
+}
 
 // Scan visits every allocated element in index order, stopping early if
 // visit returns false and reporting whether it completed.
@@ -195,6 +213,20 @@ func (s *Slots) Free(ord uint32) {
 // Live reports the number of blocks currently allocated and not freed.
 func (s *Slots) Live() int { return s.n - len(s.free) }
 
-// Bytes reports the slot memory held by the arena (all allocated blocks,
-// including recycled ones awaiting reuse).
-func (s *Slots) Bytes() int { return s.n * s.blockLen() * 4 }
+// Allocated reports the number of blocks ever carved from the chunks
+// (recycled blocks are not re-counted); with FreeBlocks it lets tests pin
+// that deletes recycle storage instead of growing the arena.
+func (s *Slots) Allocated() int { return s.n }
+
+// FreeBlocks reports the number of recycled blocks awaiting reuse.
+func (s *Slots) FreeBlocks() int { return len(s.free) }
+
+// Bytes reports the slot memory reserved by the arena: the full capacity
+// of every chunk, including recycled blocks awaiting reuse and the
+// unappended tail of the newest chunk. Alloc commits a whole chunk up
+// front (make([]uint32, 0, cap)), so counting only appended blocks would
+// under-report resident memory right after a chunk grows — and the spill
+// eviction policy keys off this number.
+func (s *Slots) Bytes() int {
+	return (len(s.chunks) << (s.perChunkBits + s.blockBits)) * 4
+}

@@ -94,8 +94,68 @@ func TestSlotsAllocFreeRecycle(t *testing.T) {
 				t.Fatalf("blockLen %d: recycled block slot %d = %d, not zeroed", blockLen, i, v)
 			}
 		}
-		if s.Bytes() != s.n*blockLen*4 {
-			t.Fatalf("blockLen %d: Bytes = %d", blockLen, s.Bytes())
+		chunkWords := 1 << (s.perChunkBits + s.blockBits)
+		wantChunks := (s.n + (1 << s.perChunkBits) - 1) >> s.perChunkBits
+		if s.Bytes() != wantChunks*chunkWords*4 {
+			t.Fatalf("blockLen %d: Bytes = %d, want %d reserved chunk bytes",
+				blockLen, s.Bytes(), wantChunks*chunkWords*4)
 		}
 	}
 }
+
+// Slots.Bytes must report the reserved chunk capacity, not just the
+// appended blocks: Alloc commits a whole chunk (make with full cap), so a
+// single allocated block already holds one chunk's worth of memory. The
+// spill eviction policy keys off this number; under-reporting would let a
+// "within budget" plan blow past the budget right after a chunk grows.
+func TestSlotsBytesCountsReservedCapacity(t *testing.T) {
+	s := MakeSlots(16)
+	if s.Bytes() != 0 {
+		t.Fatalf("empty Slots: Bytes = %d, want 0", s.Bytes())
+	}
+	s.Alloc()
+	chunkBytes := (1 << (s.perChunkBits + s.blockBits)) * 4
+	if s.Bytes() != chunkBytes {
+		t.Fatalf("one block: Bytes = %d, want full chunk %d", s.Bytes(), chunkBytes)
+	}
+	// Filling the rest of the chunk must not change the footprint...
+	for i := 1; i < 1<<s.perChunkBits; i++ {
+		s.Alloc()
+	}
+	if s.Bytes() != chunkBytes {
+		t.Fatalf("full chunk: Bytes = %d, want %d", s.Bytes(), chunkBytes)
+	}
+	// ...and the next block commits the next chunk wholesale.
+	s.Alloc()
+	if s.Bytes() != 2*chunkBytes {
+		t.Fatalf("chunk+1 blocks: Bytes = %d, want %d", s.Bytes(), 2*chunkBytes)
+	}
+	// Freed blocks stay committed: recycling does not return chunk memory.
+	s.Free(0)
+	if s.Bytes() != 2*chunkBytes {
+		t.Fatalf("after Free: Bytes = %d, want %d", s.Bytes(), 2*chunkBytes)
+	}
+}
+
+// Arena.Bytes likewise reports reserved chunk capacity.
+func TestArenaBytesCountsReservedCapacity(t *testing.T) {
+	a := Make[uint64](4) // 16 elements per chunk
+	if a.Bytes() != 0 {
+		t.Fatalf("empty arena: Bytes = %d, want 0", a.Bytes())
+	}
+	a.Alloc(1)
+	if a.Bytes() != 16*8 {
+		t.Fatalf("one element: Bytes = %d, want one full chunk (%d)", a.Bytes(), 16*8)
+	}
+	for i := 0; i < 16; i++ {
+		a.Alloc(uint64(i))
+	}
+	if a.Bytes() != 2*16*8 {
+		t.Fatalf("17 elements: Bytes = %d, want two chunks (%d)", a.Bytes(), 2*16*8)
+	}
+	a.Reset()
+	if a.Bytes() != 0 || a.Len() != 0 {
+		t.Fatalf("after Reset: Bytes = %d, Len = %d", a.Bytes(), a.Len())
+	}
+}
+

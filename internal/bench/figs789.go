@@ -105,6 +105,33 @@ func Figure7Exec(ds *ssb.Dataset, reps int, exec core.Options) ([]QueryTime, err
 	return out, nil
 }
 
+// QPPTTimes times the thirteen SSB queries on the QPPT engine alone (no
+// baselines) under the given execution options, labeling every row with
+// config. The perf snapshot uses it to record extra engine configurations
+// — e.g. a spill-enabled run under a memory budget — without re-timing
+// the baseline engines.
+func QPPTTimes(ds *ssb.Dataset, reps int, exec core.Options, config string) ([]QueryTime, error) {
+	var out []QueryTime
+	for _, qid := range ssb.QueryIDs {
+		qppt := ssb.DefaultPlanOptions()
+		qppt.Exec = exec
+		var err error
+		ms, rows := timeIt(reps, func() int {
+			res, _, e := ds.RunQPPT(qid, qppt)
+			if e != nil {
+				err = e
+				return 0
+			}
+			return len(res.Rows)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: Q%s qppt (%s): %w", qid, config, err)
+		}
+		out = append(out, QueryTime{Query: qid, Engine: EngineQPPT, Config: config, Millis: ms, Rows: rows})
+	}
+	return out, nil
+}
+
 // Figure8 reruns the select-join ablation on query 1.1: both baselines
 // plus QPPT with the composed select-join-group operator and with a
 // separate selection + join-group plan. The paper reports 151 ms vs

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qppt/internal/duplist"
+	"qppt/internal/spill"
 )
 
 // Options tune plan execution; they are the knobs the paper's demonstrator
@@ -44,6 +45,17 @@ type Options struct {
 	// ablation benchmarks and differential tests; production plans leave
 	// it false. KISS-Tree intermediates are arena-backed either way.
 	PointerLayout bool
+	// MemBudget caps the resident bytes of the plan's intermediate
+	// indexes. When the plan exceeds it, cold intermediates are frozen —
+	// their arena chunks written to temp files in one sequential pass —
+	// and restored on next access, least-recently-used first (package
+	// spill). 0 disables spilling; results are identical either way.
+	// Base indexes never spill: the budget governs what the plan *adds*.
+	MemBudget int64
+	// SpillDir is where frozen intermediates are written. Empty uses a
+	// private directory under the OS temp dir, removed when the plan
+	// finishes.
+	SpillDir string
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
 }
@@ -142,6 +154,10 @@ type OperatorStats struct {
 	OutRows  int
 	OutKeys  int
 	OutBytes int
+	// Spills/Restores count how often this operator's output index was
+	// frozen to disk and thawed back under Options.MemBudget.
+	Spills   int
+	Restores int
 }
 
 // PlanStats aggregates the statistics of one plan execution in
@@ -154,6 +170,16 @@ type PlanStats struct {
 	// fan-out factor (1/1 for serial execution).
 	Workers          int
 	MorselsPerWorker int
+	// MemBudget echoes Options.MemBudget (0 = unlimited); the remaining
+	// fields aggregate the spill manager's activity: freeze/thaw event
+	// counts, the bytes they moved, and the peak tracked residency of
+	// the plan's intermediate indexes.
+	MemBudget    int64
+	Spills       int
+	Restores     int
+	SpillBytes   int64
+	RestoreBytes int64
+	PeakResident int64
 }
 
 func (ps *PlanStats) String() string {
@@ -161,12 +187,20 @@ func (ps *PlanStats) String() string {
 		return "(no stats)"
 	}
 	s := fmt.Sprintf("total %v (pool: %d workers × %d morsels)\n", ps.Total, ps.Workers, ps.MorselsPerWorker)
+	if ps.MemBudget > 0 {
+		s += fmt.Sprintf("membudget %s: %d spills (%s out), %d restores (%s in), peak resident %s\n",
+			spill.FormatBytes(ps.MemBudget), ps.Spills, spill.FormatBytes(ps.SpillBytes),
+			ps.Restores, spill.FormatBytes(ps.RestoreBytes), spill.FormatBytes(ps.PeakResident))
+	}
 	for _, op := range ps.Ops {
 		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B",
 			op.Label, op.Time.Round(time.Microsecond), op.IndexTime.Round(time.Microsecond),
 			op.OutRows, op.OutKeys, op.OutBytes)
 		if op.Workers > 1 {
 			s += fmt.Sprintf("  [%d workers, %d morsels]", op.Workers, op.Morsels)
+		}
+		if op.Spills > 0 || op.Restores > 0 {
+			s += fmt.Sprintf("  [spilled ×%d, restored ×%d]", op.Spills, op.Restores)
 		}
 		s += "\n"
 	}
@@ -187,9 +221,18 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 		sched: NewScheduler(opts.poolWorkers()),
 		memo:  make(map[Operator]*memoEntry),
 	}
+	if opts.MemBudget > 0 {
+		mgr, err := spill.New(opts.MemBudget, opts.SpillDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ex.spill = mgr
+		ex.handles = make(map[*IndexedTable]*spill.Handle)
+		defer mgr.Close() // removes spill files; the result is thawed first
+	}
 	var stats *PlanStats
 	if opts.CollectStats {
-		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1}
+		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1, MemBudget: opts.MemBudget}
 		if ex.sched.parallel() {
 			stats.MorselsPerWorker = opts.morselsPerWorker()
 		}
@@ -199,6 +242,24 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if ex.spill != nil {
+		// The result index must survive Close: thaw it and stop evicting
+		// it (the pin is never released — the manager is done).
+		if h := ex.handleOf(out); h != nil {
+			if err := h.Pin(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if stats != nil {
+			ms := ex.spill.Stats()
+			stats.Spills, stats.Restores = ms.Spills, ms.Restores
+			stats.SpillBytes, stats.RestoreBytes = ms.SpillBytes, ms.RestoreBytes
+			stats.PeakResident = ms.Peak
+			for _, ref := range ex.spillOps {
+				stats.Ops[ref.op].Spills, stats.Ops[ref.op].Restores = ref.h.Counts()
+			}
+		}
+	}
 	if stats != nil {
 		stats.Total = time.Since(t0)
 	}
@@ -207,12 +268,36 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 
 // executor memoizes operator outputs so DAG-shaped plans run each operator
 // once, and resolves independent children concurrently on the plan's
-// shared worker pool.
+// shared worker pool. With a memory budget it also owns the plan's spill
+// manager: every non-base operator output is registered for LRU eviction,
+// and inputs are pinned resident around each operator run.
 type executor struct {
 	opts  Options
 	sched *Scheduler
 	mu    sync.Mutex
 	memo  map[Operator]*memoEntry
+
+	spill    *spill.Manager
+	handles  map[*IndexedTable]*spill.Handle // intermediate table → spill handle
+	spillOps []spillOpRef
+}
+
+// spillOpRef links a spill handle to its operator's slot in PlanStats.Ops
+// so the freeze/thaw counts can be filled in when the plan finishes.
+type spillOpRef struct {
+	h  *spill.Handle
+	op int
+}
+
+// handleOf returns the spill handle of a registered intermediate, nil for
+// base tables and unspillable index kinds.
+func (ex *executor) handleOf(t *IndexedTable) *spill.Handle {
+	if ex.spill == nil || t == nil {
+		return nil
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.handles[t]
 }
 
 type memoEntry struct {
@@ -266,6 +351,27 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 				inputs[i] = in
 			}
 		}
+		// Spilled inputs must be restored — and protected from eviction —
+		// while the operator scans and probes them.
+		var pinned []*spill.Handle
+		unpin := func() {
+			for _, h := range pinned {
+				h.Unpin()
+			}
+			pinned = nil
+		}
+		if ex.spill != nil {
+			for _, in := range inputs {
+				if h := ex.handleOf(in); h != nil {
+					if err := h.Pin(); err != nil {
+						unpin()
+						e.err = err
+						return
+					}
+					pinned = append(pinned, h)
+				}
+			}
+		}
 		ec := &ExecContext{opts: ex.opts, sched: ex.sched}
 		if stats != nil {
 			if _, isBase := op.(*Base); !isBase {
@@ -282,6 +388,20 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			e.st.OutKeys = e.out.Keys()
 			e.st.OutBytes = e.out.Idx.Bytes()
 		}
+		unpin()
+		// Hand the fresh intermediate to the spill manager, which may
+		// evict it (or a colder sibling) right away to hold the budget.
+		// Base tables stay out: the budget governs what the plan adds.
+		if ex.spill != nil && e.err == nil {
+			if _, isBase := op.(*Base); !isBase {
+				if fz := freezerOf(e.out.Idx); fz != nil {
+					h := ex.spill.Register(op.Label(), fz, e.out.Idx.Bytes)
+					ex.mu.Lock()
+					ex.handles[e.out] = h
+					ex.mu.Unlock()
+				}
+			}
+		}
 	})
 	if e.err == nil && e.st != nil && stats != nil {
 		// Append post-order, exactly once per operator.
@@ -289,6 +409,9 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 		st := *e.st
 		e.st = nil
 		stats.Ops = append(stats.Ops, st)
+		if h := ex.handles[e.out]; h != nil {
+			ex.spillOps = append(ex.spillOps, spillOpRef{h: h, op: len(stats.Ops) - 1})
+		}
 		ex.mu.Unlock()
 	}
 	return e.out, e.err

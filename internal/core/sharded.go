@@ -33,9 +33,16 @@ func newShardedIndex(shards []Index, los, his []uint64, bits uint) *shardedIndex
 	return &shardedIndex{shards: shards, los: los, his: his, bits: bits}
 }
 
-// shard returns the ordinal of the shard owning key.
+// shard returns the ordinal of the shard owning key. A key above the last
+// shard's bound clamps to the last shard: its range is documented as
+// extended up to the key-space maximum, and probe keys can exceed even
+// that (e.g. a probe attribute wider than the index key), which must read
+// as a miss in the last shard — not an out-of-range panic.
 func (s *shardedIndex) shard(key uint64) int {
-	return sort.Search(len(s.his), func(i int) bool { return key <= s.his[i] })
+	if i := sort.Search(len(s.his), func(i int) bool { return key <= s.his[i] }); i < len(s.his) {
+		return i
+	}
+	return len(s.his) - 1
 }
 
 func (s *shardedIndex) Insert(key uint64, row []uint64) {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"io"
+
+	"qppt/internal/spill"
+)
+
+// Spill support for intermediate indexes (paper motivation: QPPT builds an
+// index per operator, so total intermediate-index footprint — not the base
+// tables — caps the runnable scale factor). The index adapters forward the
+// trees' Freeze/Thaw chunk hooks, and the executor registers every
+// non-base operator output with a plan-scoped spill.Manager when
+// Options.MemBudget is set.
+
+func (p ptIndex) WriteSnapshot(w io.Writer) error { return p.t.WriteSnapshot(w) }
+func (p ptIndex) Release()                        { p.t.Release() }
+func (p ptIndex) Thaw(r io.Reader) error          { return p.t.Thaw(r) }
+
+func (k kissIndex) WriteSnapshot(w io.Writer) error { return k.t.WriteSnapshot(w) }
+func (k kissIndex) Release()                        { k.t.Release() }
+func (k kissIndex) Thaw(r io.Reader) error          { return k.t.Thaw(r) }
+
+// WriteSnapshot writes every shard into one stream, in shard order; the
+// merge bounds, key ranges and counters stay resident. Because no shard
+// detaches until Release, an error midway through the stream leaves every
+// shard intact. Thaw restores the shards in the same order.
+func (s *shardedIndex) WriteSnapshot(w io.Writer) error {
+	for _, sh := range s.shards {
+		if err := sh.(spill.Freezer).WriteSnapshot(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shardedIndex) Release() {
+	for _, sh := range s.shards {
+		sh.(spill.Freezer).Release()
+	}
+}
+
+func (s *shardedIndex) Thaw(r io.Reader) error {
+	for _, sh := range s.shards {
+		if err := sh.(spill.Freezer).Thaw(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freezerOf returns the index's spill hook, or nil when the index kind
+// cannot detach its storage (the retained pointer-based baseline layout
+// keeps per-node heap objects and is simply never evicted).
+func freezerOf(idx Index) spill.Freezer {
+	switch v := idx.(type) {
+	case *shardedIndex:
+		for _, sh := range v.shards {
+			if freezerOf(sh) == nil {
+				return nil
+			}
+		}
+		return v
+	case spill.Freezer:
+		return v
+	}
+	return nil
+}

@@ -9,10 +9,22 @@ import "qppt/internal/arena"
 // that created it, and the memory is released wholesale when the operator
 // drops the output index — there is nothing to free per key.
 //
-// A Slab is single-writer, like the trees that own one: concurrent
-// appends through the same slab require external synchronization. Under
-// morsel-driven parallelism each worker builds a private partial index
-// with a private slab, so no sharing arises.
+// Invariant: a Slab is SINGLE-WRITER, like the trees that own one.
+// alloc bumps s.off/s.cur without synchronization, so concurrent
+// AppendIn/AggregateIn through one slab race. This is a contract with
+// package core, which is where slabs meet workers:
+//
+//   - each pool worker builds a private partial index — its own tree, its
+//     own slab — so scan/probe parallelism never shares a slab;
+//   - the parallel partition-wise merge gives every merge range its own
+//     output shard (again: own tree, own slab) and re-inserts rows on the
+//     worker that owns that shard;
+//   - the spill manager freezes/thaws an index only while no operator has
+//     it pinned, so no writer is active.
+//
+// Concurrent readers of a quiesced slab are safe (the merge's range scans
+// rely on that). Anyone building indexes outside core must keep one
+// writer per slab the same way.
 type Slab struct {
 	blocks [][]uint64
 	cur    []uint64             // current block

@@ -29,7 +29,6 @@ package kisstree
 import (
 	"fmt"
 	"math/bits"
-	"unsafe"
 
 	"qppt/internal/arena"
 	"qppt/internal/duplist"
@@ -88,6 +87,10 @@ type Tree struct {
 	minKey, maxKey   uint32
 	copies           int // RCU node copies performed (compression cost metric)
 	touchedRootPages int // root pages written at least once (memory metric)
+
+	// frozen marks a tree whose chunk storage is spilled (see spill.go);
+	// counters and bounds stay valid, everything else is on disk.
+	frozen bool
 }
 
 // cnode is a bitmask-compressed second-level node: a 64-bit occupancy
@@ -104,9 +107,6 @@ type Leaf struct {
 	Key  uint64
 	Vals duplist.List
 }
-
-// leafBytes is the in-arena size of one leaf header, for Bytes().
-const leafBytes = int(unsafe.Sizeof(Leaf{}))
 
 const leafChunkBits = 13 // 8192 leaves (~512 KB) per chunk
 
@@ -460,7 +460,10 @@ func (t *Tree) Bytes() int {
 	for i := range t.cnodes {
 		b += len(t.cnodes[i].entries) * 4
 	}
-	b += t.leaves.Len()*leafBytes + t.slab.Bytes()
+	b += t.leaves.Bytes()
+	if t.slab != nil {
+		b += t.slab.Bytes()
+	}
 	// Root: the directory plus the chunks actually faulted in.
 	b += rootChunks * 8
 	for _, c := range t.root {

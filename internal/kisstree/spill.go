@@ -1,0 +1,228 @@
+package kisstree
+
+import (
+	"fmt"
+	"io"
+
+	"qppt/internal/arena"
+	"qppt/internal/duplist"
+)
+
+// Freeze/Thaw: the KISS-Tree's spill hooks, mirroring package prefixtree.
+//
+// All interior references are compact pointers (arena ordinals + 1), so
+// the index is position-independent: the touched root-directory chunks and
+// the second-level node chunks spill verbatim, content leaves are
+// serialized key + rows (their duplicate lists embed Go slices), and Thaw
+// rebuilds everything index-for-index. Scalar state — key/row counters,
+// min/max bounds, RCU-copy and root-page metrics — stays in the Tree
+// struct across a freeze.
+
+// kissFreezeMagic distinguishes KISS-Tree freeze streams from prefix-tree
+// ones (a sharded index freezes heterogeneous shards into one file).
+const kissFreezeMagic = 0x5150_5054_4B53_0001 // "QPPT" + KISS format 1
+
+// Frozen reports whether the tree's chunk storage is currently detached
+// (spilled). A frozen tree must not be queried or mutated until Thaw.
+func (t *Tree) Frozen() bool { return t.frozen }
+
+// WriteSnapshot writes the tree's storage to w in one sequential pass —
+// the touched root chunks, node chunks, compressed nodes and content
+// leaves. The storage stays attached and the tree fully usable; call
+// Release once the snapshot is safely persisted to actually detach it,
+// so a failed spill never drops index data.
+//
+// Like prefixtree, WriteSnapshot/Thaw consume exactly their own bytes
+// (no internal buffering, no read-ahead) so several structures can share
+// one stream; callers provide buffering.
+func (t *Tree) WriteSnapshot(w io.Writer) error {
+	if t.frozen {
+		return fmt.Errorf("kisstree: WriteSnapshot on a frozen tree")
+	}
+	if err := arena.WriteU64(w, kissFreezeMagic); err != nil {
+		return err
+	}
+	// Root page directory: only the chunks faulted in by writes.
+	touched := uint64(0)
+	for _, c := range t.root {
+		if c != nil {
+			touched++
+		}
+	}
+	if err := arena.WriteU64(w, touched); err != nil {
+		return err
+	}
+	for ci, c := range t.root {
+		if c == nil {
+			continue
+		}
+		if err := arena.WriteU64(w, uint64(ci)); err != nil {
+			return err
+		}
+		if err := arena.WriteU32s(w, c); err != nil {
+			return err
+		}
+	}
+	if err := t.nodes.WriteChunks(w); err != nil {
+		return err
+	}
+	if err := arena.WriteU64(w, uint64(len(t.cnodes))); err != nil {
+		return err
+	}
+	for i := range t.cnodes {
+		if err := arena.WriteU64(w, t.cnodes[i].bitmap); err != nil {
+			return err
+		}
+		if err := arena.WriteU64(w, uint64(len(t.cnodes[i].entries))); err != nil {
+			return err
+		}
+		if err := arena.WriteU32s(w, t.cnodes[i].entries); err != nil {
+			return err
+		}
+	}
+	if err := arena.WriteU64(w, uint64(t.leaves.Len())); err != nil {
+		return err
+	}
+	werr := error(nil)
+	t.leaves.Scan(func(_ uint32, lf *Leaf) bool {
+		werr = writeLeaf(w, lf)
+		return werr == nil
+	})
+	return werr
+}
+
+// Release detaches the root directory, node arena, compressed nodes, leaf
+// arena and payload slab the last WriteSnapshot captured. The tree keeps
+// its counters and bounds but must not be queried or mutated until Thaw.
+// Only call after the snapshot is safely persisted.
+func (t *Tree) Release() {
+	t.root = make([][]uint32, rootChunks)
+	t.nodes.Detach()
+	t.cnodes = nil
+	t.leaves.Reset()
+	t.slab = nil
+	t.frozen = true
+}
+
+// Freeze is WriteSnapshot + Release in one step, for callers whose write
+// target cannot fail after the fact (e.g. an in-memory buffer).
+func (t *Tree) Freeze(w io.Writer) error {
+	if err := t.WriteSnapshot(w); err != nil {
+		return err
+	}
+	t.Release()
+	return nil
+}
+
+// Thaw restores the storage WriteSnapshot wrote. Root chunks and node
+// blocks come back verbatim; leaves are re-allocated index-for-index so
+// every compact pointer in the restored nodes stays valid.
+func (t *Tree) Thaw(r io.Reader) error {
+	if !t.frozen {
+		return fmt.Errorf("kisstree: Thaw on a tree that is not frozen")
+	}
+	magic, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	if magic != kissFreezeMagic {
+		return fmt.Errorf("kisstree: bad freeze magic %#x", magic)
+	}
+	touched, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	t.root = make([][]uint32, rootChunks)
+	for i := uint64(0); i < touched; i++ {
+		ci, err := arena.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		if ci >= rootChunks {
+			return fmt.Errorf("kisstree: root chunk %d out of range", ci)
+		}
+		c := make([]uint32, 1<<rootChunkBits)
+		if err := arena.ReadU32s(r, c); err != nil {
+			return err
+		}
+		t.root[ci] = c
+	}
+	if err := t.nodes.ReadChunks(r); err != nil {
+		return err
+	}
+	nCN, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	t.cnodes = make([]cnode, nCN)
+	for i := range t.cnodes {
+		if t.cnodes[i].bitmap, err = arena.ReadU64(r); err != nil {
+			return err
+		}
+		nEnt, err := arena.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		t.cnodes[i].entries = make([]uint32, nEnt)
+		if err := arena.ReadU32s(r, t.cnodes[i].entries); err != nil {
+			return err
+		}
+	}
+	nLeaves, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	t.slab = duplist.NewSlab()
+	t.leaves.Reset()
+	row := make([]uint64, t.cfg.PayloadWidth)
+	for i := uint64(0); i < nLeaves; i++ {
+		li := t.leaves.Alloc(Leaf{})
+		if err := readLeaf(r, t.leaves.At(li), t.cfg.PayloadWidth, t.slab, row); err != nil {
+			return err
+		}
+	}
+	t.frozen = false
+	return nil
+}
+
+// writeLeaf serializes one content leaf: key, row count, rows.
+func writeLeaf(w io.Writer, lf *Leaf) error {
+	if err := arena.WriteU64(w, lf.Key); err != nil {
+		return err
+	}
+	if err := arena.WriteU64(w, uint64(lf.Vals.Len())); err != nil {
+		return err
+	}
+	if lf.Vals.Width() == 0 {
+		return nil // existence-only rows carry no storage
+	}
+	werr := error(nil)
+	lf.Vals.Scan(func(row []uint64) bool {
+		werr = arena.WriteU64s(w, row)
+		return werr == nil
+	})
+	return werr
+}
+
+// readLeaf rebuilds one content leaf in place, drawing row storage from
+// slab. row is a caller-provided width-sized scratch buffer.
+func readLeaf(r io.Reader, lf *Leaf, width int, slab *duplist.Slab, row []uint64) error {
+	key, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	n, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	*lf = Leaf{Key: key, Vals: duplist.Make(width)}
+	for j := uint64(0); j < n; j++ {
+		if width > 0 {
+			if err := arena.ReadU64s(r, row); err != nil {
+				return err
+			}
+		}
+		lf.Vals.AppendIn(slab, row[:width])
+	}
+	return nil
+}

@@ -58,9 +58,15 @@ func TestDifferentialArenaVsModel(t *testing.T) {
 				return []uint64{k, rng.Uint64()}
 			}
 
-			// Mixed single-key and batched inserts.
+			// Mixed single-key inserts, batched inserts and delete waves.
+			// The deletes hit slab-backed lists (every list in the arena
+			// tree draws from the tree's slab), so leaf-header and
+			// path-node recycling runs against exactly the storage layout
+			// production intermediates use — insert-only coverage would
+			// let node-recycling bugs hide.
 			for step := 0; step < 40; step++ {
-				if rng.Intn(2) == 0 {
+				switch rng.Intn(3) {
+				case 0:
 					for i := 0; i < 50; i++ {
 						k := randKey()
 						row := randRow(k)
@@ -68,20 +74,96 @@ func TestDifferentialArenaVsModel(t *testing.T) {
 						base.Insert(k, row)
 						model.insert(k, row)
 					}
+				case 1:
+					n := 1 + rng.Intn(600) // cross the DefaultBatchSize boundary
+					keys := make([]uint64, n)
+					rows := make([][]uint64, n)
+					for i := range keys {
+						keys[i] = randKey()
+						rows[i] = randRow(keys[i])
+					}
+					tr.InsertBatch(keys, rows)
+					base.InsertBatch(keys, rows)
+					for i, k := range keys {
+						model.insert(k, rows[i])
+					}
+				default:
+					// Delete a mix of present keys (drawn from the model)
+					// and random, mostly-absent ones; all three structures
+					// must agree on what was present.
+					victims := model.sortedKeys()
+					rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+					if len(victims) > 40 {
+						victims = victims[:40]
+					}
+					for i := 0; i < 20; i++ {
+						victims = append(victims, randKey())
+					}
+					for _, k := range victims {
+						_, present := model[k]
+						if got := tr.Delete(k); got != present {
+							t.Fatalf("k'=%d bits=%d: Delete(%#x) = %v, model %v",
+								prefixLen, keyBits, k, got, present)
+						}
+						if got := base.Delete(k); got != present {
+							t.Fatalf("k'=%d bits=%d: baseline Delete(%#x) = %v, model %v",
+								prefixLen, keyBits, k, got, present)
+						}
+						delete(model, k)
+					}
+				}
+			}
+
+			// Recycling: a final delete wave frees leaf headers (and often
+			// path nodes); fresh inserts must then reuse them instead of
+			// growing the arenas. (The interleaved waves above may already
+			// have been refilled by later insert steps, so recycle counts
+			// are pinned against this explicit wave.)
+			final := model.sortedKeys()
+			if len(final) > 60 {
+				final = final[:60]
+			}
+			for _, k := range final {
+				tr.Delete(k)
+				base.Delete(k)
+				delete(model, k)
+			}
+			if len(tr.freeLeaves) == 0 {
+				t.Fatalf("k'=%d bits=%d: delete wave left no recycled leaf headers", prefixLen, keyBits)
+			}
+			toInsert := len(tr.freeLeaves)
+			if keyBits < 20 { // narrow key spaces may not have enough absent keys
+				if avail := int(keyMask) + 1 - len(model); toInsert > avail {
+					toInsert = avail
+				}
+			}
+			freedLeaves := len(tr.freeLeaves)
+			leavesAllocated := tr.leaves.Len()
+			nodesAllocated := tr.nodes.Allocated() // total ever carved, excluding recycled
+			for inserted := 0; inserted < toInsert; {
+				k := randKey()
+				if _, ok := model[k]; ok {
 					continue
 				}
-				n := 1 + rng.Intn(600) // cross the DefaultBatchSize boundary
-				keys := make([]uint64, n)
-				rows := make([][]uint64, n)
-				for i := range keys {
-					keys[i] = randKey()
-					rows[i] = randRow(keys[i])
-				}
-				tr.InsertBatch(keys, rows)
-				base.InsertBatch(keys, rows)
-				for i, k := range keys {
-					model.insert(k, rows[i])
-				}
+				row := randRow(k)
+				tr.Insert(k, row)
+				base.Insert(k, row)
+				model.insert(k, row)
+				inserted++
+			}
+			if got := len(tr.freeLeaves); got != freedLeaves-toInsert {
+				t.Fatalf("k'=%d bits=%d: %d inserts left %d of %d free leaf headers (want %d): recycling broken",
+					prefixLen, keyBits, toInsert, got, freedLeaves, freedLeaves-toInsert)
+			}
+			if tr.leaves.Len() != leavesAllocated {
+				t.Fatalf("k'=%d bits=%d: leaf arena grew from %d to %d despite free headers",
+					prefixLen, keyBits, leavesAllocated, tr.leaves.Len())
+			}
+			// New collision paths may need inner nodes, but the arena must
+			// only grow once the node free list is drained.
+			if tr.nodes.Allocated() > nodesAllocated && tr.nodes.FreeBlocks() > 0 {
+				t.Fatalf("k'=%d bits=%d: node arena grew by %d blocks with %d free blocks unused",
+					prefixLen, keyBits, tr.nodes.Allocated()-nodesAllocated, tr.nodes.FreeBlocks())
 			}
 
 			// Counters.

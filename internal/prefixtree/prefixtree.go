@@ -36,7 +36,6 @@ package prefixtree
 
 import (
 	"fmt"
-	"unsafe"
 
 	"qppt/internal/arena"
 	"qppt/internal/duplist"
@@ -109,6 +108,10 @@ type Tree struct {
 	// tree's lists, so index construction allocates large blocks instead
 	// of per-key objects.
 	slab *duplist.Slab
+
+	// frozen marks a tree whose chunk storage is spilled (see spill.go);
+	// counters and geometry stay valid, everything else is on disk.
+	frozen bool
 }
 
 // A Leaf is a content node: the full key (required because dynamic
@@ -118,9 +121,6 @@ type Leaf struct {
 	Key  uint64
 	Vals duplist.List
 }
-
-// leafBytes is the in-arena size of one leaf header, for Bytes().
-const leafBytes = int(unsafe.Sizeof(Leaf{}))
 
 // New creates an empty tree. It returns an error for out-of-range
 // configuration values.
@@ -458,9 +458,15 @@ func (t *Tree) Max() (uint64, bool) {
 
 // Bytes estimates the heap footprint of the tree in bytes: the node slot
 // arena, the leaf arena, and the slab holding all payload rows and
-// duplicate segments.
+// duplicate segments. Arena numbers are reserved chunk capacity, so the
+// estimate tracks what actually sits in the heap; a frozen (spilled) tree
+// reports only its residual in-memory state.
 func (t *Tree) Bytes() int {
-	return t.nodes.Bytes() + t.leaves.Len()*leafBytes + t.slab.Bytes()
+	b := t.nodes.Bytes() + t.leaves.Bytes()
+	if t.slab != nil {
+		b += t.slab.Bytes()
+	}
+	return b
 }
 
 // Nodes reports the number of live inner nodes, for memory accounting

@@ -1,0 +1,179 @@
+package prefixtree
+
+import (
+	"fmt"
+	"io"
+
+	"qppt/internal/arena"
+	"qppt/internal/duplist"
+)
+
+// Freeze/Thaw: the tree's spill hooks (ROADMAP "Index spilling").
+//
+// Because every reference inside the tree is a compact pointer — an arena
+// index, not a machine address — the whole index is position-independent:
+// Freeze writes the node chunks verbatim and the content leaves (key +
+// payload rows, which embed Go slices and so cannot be dumped raw) in one
+// sequential pass, then detaches the chunk storage so the garbage
+// collector reclaims it. Thaw reads the stream back into freshly
+// allocated chunks; node ordinals and leaf indices are reproduced
+// exactly, so the restored tree answers every query identically.
+//
+// The cheap scalar state (key/row counters, geometry) stays in the Tree
+// struct across a freeze, so planners can keep consulting Keys()/Rows()
+// on a frozen index without touching the spill file.
+
+// freezeMagic guards against thawing a stream produced by a different
+// structure (or a different format revision).
+const freezeMagic = 0x5150_5054_5054_0001 // "QPPT" + prefix-tree format 1
+
+// Frozen reports whether the tree's chunk storage is currently detached
+// (spilled). A frozen tree must not be queried or mutated until Thaw.
+func (t *Tree) Frozen() bool { return t.frozen }
+
+// WriteSnapshot writes the tree's storage to w in one sequential pass —
+// node chunks, leaf free list, and every content leaf. The storage stays
+// attached and the tree fully usable; call Release once the snapshot is
+// safely persisted to actually detach it. Splitting the two is what makes
+// a failed spill harmless: on any write error nothing has been dropped.
+//
+// WriteSnapshot and Thaw consume exactly their own bytes and never read
+// ahead, so several structures can share one stream (a sharded index
+// snapshots all its shards into one spill file). Callers provide
+// buffering; wrapping w or r here would steal the next structure's bytes
+// on Thaw.
+func (t *Tree) WriteSnapshot(w io.Writer) error {
+	if t.frozen {
+		return fmt.Errorf("prefixtree: WriteSnapshot on a frozen tree")
+	}
+	if err := arena.WriteU64(w, freezeMagic); err != nil {
+		return err
+	}
+	if err := t.nodes.WriteChunks(w); err != nil {
+		return err
+	}
+	if err := arena.WriteU64(w, uint64(len(t.freeLeaves))); err != nil {
+		return err
+	}
+	if err := arena.WriteU32s(w, t.freeLeaves); err != nil {
+		return err
+	}
+	if err := arena.WriteU64(w, uint64(t.leaves.Len())); err != nil {
+		return err
+	}
+	werr := error(nil)
+	t.leaves.Scan(func(_ uint32, lf *Leaf) bool {
+		werr = writeLeaf(w, lf)
+		return werr == nil
+	})
+	return werr
+}
+
+// Release detaches the node arena, leaf arena and payload slab the last
+// WriteSnapshot captured; the garbage collector reclaims them. The tree
+// keeps its counters and geometry but must not be queried or mutated
+// until Thaw. Only call after the snapshot is safely persisted.
+func (t *Tree) Release() {
+	t.nodes.Detach()
+	t.leaves.Reset()
+	t.slab = nil
+	t.freeLeaves = nil
+	t.frozen = true
+}
+
+// Freeze is WriteSnapshot + Release in one step, for callers whose write
+// target cannot fail after the fact (e.g. an in-memory buffer).
+func (t *Tree) Freeze(w io.Writer) error {
+	if err := t.WriteSnapshot(w); err != nil {
+		return err
+	}
+	t.Release()
+	return nil
+}
+
+// Thaw restores the storage Freeze wrote: node chunks come back verbatim,
+// leaves are re-allocated index-for-index (so the compact pointers inside
+// the restored nodes stay valid), and payload rows are rebuilt into a
+// fresh slab.
+func (t *Tree) Thaw(r io.Reader) error {
+	if !t.frozen {
+		return fmt.Errorf("prefixtree: Thaw on a tree that is not frozen")
+	}
+	magic, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	if magic != freezeMagic {
+		return fmt.Errorf("prefixtree: bad freeze magic %#x", magic)
+	}
+	if err := t.nodes.ReadChunks(r); err != nil {
+		return err
+	}
+	nFree, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	t.freeLeaves = make([]uint32, nFree)
+	if err := arena.ReadU32s(r, t.freeLeaves); err != nil {
+		return err
+	}
+	nLeaves, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	t.slab = duplist.NewSlab()
+	t.leaves.Reset()
+	row := make([]uint64, t.cfg.PayloadWidth)
+	for i := uint64(0); i < nLeaves; i++ {
+		li := t.leaves.Alloc(Leaf{})
+		if err := readLeaf(r, t.leaf(li), t.cfg.PayloadWidth, t.slab, row); err != nil {
+			return err
+		}
+	}
+	t.frozen = false
+	return nil
+}
+
+// writeLeaf serializes one content leaf: key, row count, then the rows in
+// insertion order. Recycled leaf headers (on the free list) are zero
+// leaves and serialize as key 0 with no rows.
+func writeLeaf(w io.Writer, lf *Leaf) error {
+	if err := arena.WriteU64(w, lf.Key); err != nil {
+		return err
+	}
+	if err := arena.WriteU64(w, uint64(lf.Vals.Len())); err != nil {
+		return err
+	}
+	if lf.Vals.Width() == 0 {
+		return nil // existence-only rows carry no storage
+	}
+	werr := error(nil)
+	lf.Vals.Scan(func(row []uint64) bool {
+		werr = arena.WriteU64s(w, row)
+		return werr == nil
+	})
+	return werr
+}
+
+// readLeaf rebuilds one content leaf in place, drawing row storage from
+// slab. row is a caller-provided width-sized scratch buffer.
+func readLeaf(r io.Reader, lf *Leaf, width int, slab *duplist.Slab, row []uint64) error {
+	key, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	n, err := arena.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	*lf = Leaf{Key: key, Vals: duplist.Make(width)}
+	for j := uint64(0); j < n; j++ {
+		if width > 0 {
+			if err := arena.ReadU64s(r, row); err != nil {
+				return err
+			}
+		}
+		lf.Vals.AppendIn(slab, row[:width])
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package spill
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human byte-size string for the -membudget flags:
+// a plain number is bytes, and the suffixes K/M/G/T (optionally followed
+// by "B" or "iB", case-insensitive) scale by powers of 1024. Examples:
+// "268435456", "256MiB", "256mb", "1.5G".
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("spill: empty byte size")
+	}
+	shift := uint(0)
+	for sfx, sh := range map[string]uint{"k": 10, "m": 20, "g": 30, "t": 40} {
+		for _, unit := range []string{sfx + "ib", sfx + "b", sfx} {
+			if strings.HasSuffix(t, unit) {
+				t, shift = strings.TrimSuffix(t, unit), sh
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	t = strings.TrimSpace(strings.TrimSuffix(t, " "))
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("spill: bad byte size %q", s)
+	}
+	return int64(v * float64(int64(1)<<shift)), nil
+}
+
+// FormatBytes renders n with the largest power-of-1024 unit that keeps
+// the value readable, for statistics output.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

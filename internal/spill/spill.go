@@ -1,0 +1,316 @@
+// Package spill implements the plan-scoped index spill manager (ROADMAP
+// "Index spilling").
+//
+// QPPT builds an intermediate prefix-tree index per operator, so the total
+// index footprint — not the base tables — is what caps the scale factor a
+// plan can run. Because the index structures store compact pointers (arena
+// indices, not machine addresses), a cold intermediate index is just a
+// handful of large contiguous chunks that can be written to a temp file in
+// one sequential pass and read back verbatim on next access.
+//
+// The manager tracks every registered intermediate with its resident byte
+// count (the arenas' reserved chunk capacity — see arena.Slots.Bytes) and
+// enforces a byte budget: whenever residency exceeds the budget, the
+// least-recently-used unpinned entry is frozen to disk until the plan fits
+// again. Pinning an entry thaws it if needed and protects it while an
+// operator reads it. Eviction is best-effort — when everything live is
+// pinned, the plan runs over budget rather than deadlocking.
+//
+// Freeze/Thaw I/O runs under the manager lock, serializing spill traffic
+// into the sequential-pass pattern the chunk layout is designed for.
+package spill
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// A Freezer can snapshot its storage into a byte stream, detach it, and
+// restore it later. Both QPPT tree kinds (and the sharded index over
+// them) implement it via their arena chunk export.
+//
+// Snapshot and Release are split so the manager can sequence them safely
+// around file I/O: Release is called only after the snapshot is flushed
+// and closed on disk. If writing fails at any point — including a
+// buffered flush, or midway through a multi-shard stream — nothing has
+// been detached and the structure simply stays resident.
+type Freezer interface {
+	// WriteSnapshot serializes the structure's storage to w, leaving the
+	// storage attached and the structure fully usable.
+	WriteSnapshot(w io.Writer) error
+	// Release detaches the storage a successful WriteSnapshot captured;
+	// the structure must not be used again until Thaw.
+	Release()
+	// Thaw restores storage previously written by WriteSnapshot.
+	Thaw(r io.Reader) error
+}
+
+// Stats aggregates the manager's activity for plan statistics.
+type Stats struct {
+	// Spills counts freeze events; SpillBytes the bytes they released.
+	Spills     int
+	SpillBytes int64
+	// Restores counts thaw events; RestoreBytes the bytes brought back.
+	Restores     int
+	RestoreBytes int64
+	// Resident is the current tracked residency, Peak its high-water mark.
+	Resident int64
+	Peak     int64
+}
+
+// A Manager owns the spill state of one plan execution.
+type Manager struct {
+	mu     sync.Mutex
+	dir    string
+	ownDir bool // dir was created by New and is removed by Close
+	budget int64
+	clock  uint64
+	nextID int
+	all    []*Handle
+	stats  Stats
+}
+
+// New creates a manager enforcing the given byte budget. dir is where
+// spill files go; an empty dir creates a private temp directory that
+// Close removes. budget <= 0 disables eviction (the manager still tracks
+// residency and serves explicit Freeze calls).
+func New(budget int64, dir string) (*Manager, error) {
+	ownDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "qppt-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("spill: %w", err)
+		}
+		dir, ownDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &Manager{dir: dir, ownDir: ownDir, budget: budget}, nil
+}
+
+// Budget reports the configured byte budget.
+func (m *Manager) Budget() int64 { return m.budget }
+
+// A Handle tracks one registered structure.
+type Handle struct {
+	m      *Manager
+	obj    Freezer
+	size   func() int // resident bytes when live
+	label  string
+	file   string
+	bytes  int64 // last observed resident size
+	pins   int
+	frozen bool
+	failed bool // freeze failed once; never retried, stays resident
+
+	lastUse          uint64
+	spills, restores int
+}
+
+// Register adds a structure to the managed set and reclaims space
+// immediately if its residency pushes the plan over budget. size must
+// report the structure's current resident bytes; label names it in spill
+// file names (diagnostics only).
+func (m *Manager) Register(label string, obj Freezer, size func() int) *Handle {
+	h := &Handle{m: m, obj: obj, size: size, label: label, bytes: int64(size())}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h.lastUse = m.tick()
+	h.file = filepath.Join(m.dir, fmt.Sprintf("%03d-%s.spill", m.nextID, sanitize(label)))
+	m.nextID++
+	m.all = append(m.all, h)
+	m.addResident(h.bytes)
+	m.balanceLocked()
+	return h
+}
+
+// Pin makes the handle's structure resident (thawing it if frozen) and
+// protects it from eviction until the matching Unpin. Pins nest.
+func (h *Handle) Pin() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h.lastUse = m.tick()
+	if h.frozen {
+		if err := m.thawLocked(h); err != nil {
+			return err
+		}
+	}
+	h.pins++
+	// The thaw may have pushed residency over budget; evict colder entries.
+	m.balanceLocked()
+	return nil
+}
+
+// Unpin releases one Pin. The structure becomes evictable again once all
+// pins are released.
+func (h *Handle) Unpin() {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.pins > 0 {
+		h.pins--
+	}
+	m.balanceLocked()
+}
+
+// Counts reports how often this handle's structure was spilled and
+// restored, for per-operator statistics.
+func (h *Handle) Counts() (spills, restores int) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.spills, h.restores
+}
+
+// Frozen reports whether the structure is currently on disk.
+func (h *Handle) Frozen() bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.frozen
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close deletes all spill state. Frozen entries become unusable; callers
+// must Pin (thaw) anything they still need — typically the plan's result
+// index — before closing.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	if m.ownDir {
+		firstErr = os.RemoveAll(m.dir)
+	} else {
+		for _, h := range m.all {
+			if h.frozen {
+				if err := os.Remove(h.file); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	m.all = nil
+	return firstErr
+}
+
+// tick advances the LRU clock.
+func (m *Manager) tick() uint64 {
+	m.clock++
+	return m.clock
+}
+
+func (m *Manager) addResident(delta int64) {
+	m.stats.Resident += delta
+	if m.stats.Resident > m.stats.Peak {
+		m.stats.Peak = m.stats.Resident
+	}
+}
+
+// balanceLocked freezes least-recently-used unpinned entries until the
+// tracked residency fits the budget. Best-effort: with everything pinned
+// (or all freezes failing) the plan simply runs over budget.
+func (m *Manager) balanceLocked() {
+	if m.budget <= 0 {
+		return
+	}
+	for m.stats.Resident > m.budget {
+		var victim *Handle
+		for _, h := range m.all {
+			if h.frozen || h.failed || h.pins > 0 {
+				continue
+			}
+			if victim == nil || h.lastUse < victim.lastUse {
+				victim = h
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if err := m.freezeLocked(victim); err != nil {
+			victim.failed = true // e.g. disk full: keep resident, stop retrying
+		}
+	}
+}
+
+// freezeLocked writes one entry to its spill file and, only once the file
+// is flushed and closed successfully, drops the entry's storage. On any
+// write error (e.g. disk full) the structure keeps its storage and stays
+// fully usable — a failed freeze must never lose index data.
+func (m *Manager) freezeLocked(h *Handle) error {
+	h.bytes = int64(h.size()) // refresh: the index grew after registration
+	f, err := os.Create(h.file)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := h.obj.WriteSnapshot(bw); err != nil {
+		f.Close()
+		os.Remove(h.file)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(h.file)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(h.file)
+		return err
+	}
+	h.obj.Release()
+	h.frozen = true
+	h.spills++
+	m.stats.Spills++
+	m.stats.SpillBytes += h.bytes
+	m.addResident(-h.bytes)
+	return nil
+}
+
+// thawLocked restores one entry from its spill file and deletes the file
+// (a later eviction rewrites it).
+func (m *Manager) thawLocked(h *Handle) error {
+	f, err := os.Open(h.file)
+	if err != nil {
+		return fmt.Errorf("spill: restore %s: %w", h.label, err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	if err := h.obj.Thaw(br); err != nil {
+		f.Close()
+		return fmt.Errorf("spill: restore %s: %w", h.label, err)
+	}
+	f.Close()
+	os.Remove(h.file)
+	h.frozen = false
+	h.bytes = int64(h.size())
+	h.restores++
+	m.stats.Restores++
+	m.stats.RestoreBytes += h.bytes
+	m.addResident(h.bytes)
+	return nil
+}
+
+// sanitize keeps spill file names to a portable character set.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+		if len(out) >= 48 {
+			break
+		}
+	}
+	return string(out)
+}

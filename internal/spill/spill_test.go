@@ -1,0 +1,271 @@
+package spill
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"qppt/internal/arena"
+)
+
+// fakeIndex is a minimal Freezer: a Slots arena plus a payload count, so
+// the manager's byte accounting and freeze/thaw plumbing can be tested
+// without dragging in a whole tree.
+type fakeIndex struct {
+	slots arena.Slots
+}
+
+func newFakeIndex(blocks int, seed uint32) *fakeIndex {
+	fi := &fakeIndex{slots: arena.MakeSlots(16)}
+	for i := 0; i < blocks; i++ {
+		blk := fi.slots.Block(fi.slots.Alloc())
+		for j := range blk {
+			blk[j] = seed + uint32(i*len(blk)+j)
+		}
+	}
+	return fi
+}
+
+func (f *fakeIndex) WriteSnapshot(w io.Writer) error { return f.slots.WriteChunks(w) }
+func (f *fakeIndex) Release()                        { f.slots.Detach() }
+func (f *fakeIndex) Thaw(r io.Reader) error          { return f.slots.ReadChunks(r) }
+func (f *fakeIndex) Bytes() int                      { return f.slots.Bytes() }
+
+func (f *fakeIndex) verify(t *testing.T, blocks int, seed uint32) {
+	t.Helper()
+	for i := 0; i < blocks; i++ {
+		blk := f.slots.Block(uint32(i))
+		for j, v := range blk {
+			if v != seed+uint32(i*len(blk)+j) {
+				t.Fatalf("block %d slot %d = %d after restore", i, j, v)
+			}
+		}
+	}
+}
+
+func TestManagerEvictsLRUAndRestores(t *testing.T) {
+	const blocks = 64 // 64 blocks × 16 slots × 4 B = 4 KiB < one chunk ⇒ Bytes = 256 KiB
+	a := newFakeIndex(blocks, 1000)
+	oneIdx := int64(a.Bytes())
+	// Budget fits one index but not two: registering the second must
+	// freeze the first (the least recently used).
+	m, err := New(oneIdx+oneIdx/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ha := m.Register("a", a, a.Bytes)
+	if ha.Frozen() {
+		t.Fatal("sole index frozen while under budget")
+	}
+	b := newFakeIndex(blocks, 2000)
+	hb := m.Register("b", b, b.Bytes)
+	if !ha.Frozen() {
+		t.Fatal("LRU entry not frozen when the second index broke the budget")
+	}
+	if hb.Frozen() {
+		t.Fatal("most recent entry frozen instead of the LRU one")
+	}
+	if a.Bytes() != 0 {
+		t.Fatalf("frozen index still resident (%d bytes)", a.Bytes())
+	}
+
+	// Pinning the frozen entry must thaw it byte-identically and evict
+	// the other one instead.
+	if err := ha.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	a.verify(t, blocks, 1000)
+	if !hb.Frozen() {
+		t.Fatal("thaw did not rebalance onto the unpinned entry")
+	}
+	// A pinned entry must never be evicted, however cold.
+	c := newFakeIndex(blocks, 3000)
+	m.Register("c", c, c.Bytes)
+	if ha.Frozen() {
+		t.Fatal("pinned entry was evicted")
+	}
+	ha.Unpin()
+
+	st := m.Stats()
+	if st.Spills < 2 || st.Restores != 1 {
+		t.Fatalf("stats = %+v, want >=2 spills and 1 restore", st)
+	}
+	if st.SpillBytes < oneIdx || st.RestoreBytes != oneIdx {
+		t.Fatalf("byte counters = %+v", st)
+	}
+	if s, r := ha.Counts(); s < 1 || r != 1 {
+		t.Fatalf("handle a counts = %d/%d", s, r)
+	}
+}
+
+func TestManagerUnlimitedBudgetNeverSpills(t *testing.T) {
+	m, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		fi := newFakeIndex(32, uint32(i))
+		if h := m.Register(fmt.Sprint(i), fi, fi.Bytes); h.Frozen() {
+			t.Fatal("spilled without a budget")
+		}
+	}
+	if st := m.Stats(); st.Spills != 0 || st.Resident == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestManagerCloseRemovesOwnDir(t *testing.T) {
+	m, err := New(1, "") // everything spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := newFakeIndex(32, 9)
+	h := m.Register("x", fi, fi.Bytes)
+	if !h.Frozen() {
+		t.Fatal("not frozen under 1-byte budget")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(m.dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir survived Close: %v", err)
+	}
+}
+
+func TestManagerExplicitDirKeepsDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spills")
+	m, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := newFakeIndex(32, 9)
+	m.Register("x", fi, fi.Bytes)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("caller-owned dir removed: %v", err)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("spill files survived Close: %d entries", len(ents))
+	}
+}
+
+// Concurrent pin/unpin traffic from several goroutines (the shape the
+// plan executor generates when branches resolve in parallel) must stay
+// race-free and leave every index restorable.
+func TestManagerConcurrentPinUnpin(t *testing.T) {
+	m, err := New(1, "") // maximal pressure: everything evictable spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const n = 8
+	idxs := make([]*fakeIndex, n)
+	handles := make([]*Handle, n)
+	for i := range idxs {
+		idxs[i] = newFakeIndex(16, uint32(100*i))
+		handles[i] = m.Register(fmt.Sprint(i), idxs[i], idxs[i].Bytes)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				h := handles[(w*13+r)%n]
+				if err := h.Pin(); err != nil {
+					t.Errorf("pin: %v", err)
+					return
+				}
+				idxs[(w*13+r)%n].verify(t, 16, uint32(100*((w*13+r)%n)))
+				h.Unpin()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := m.Stats(); st.Spills == 0 || st.Restores == 0 {
+		t.Fatalf("no spill traffic under pressure: %+v", st)
+	}
+}
+
+// failingIndex errors partway through its snapshot — the shape of a
+// disk-full or mid-shard failure.
+type failingIndex struct {
+	fakeIndex
+	calls int
+}
+
+func (f *failingIndex) WriteSnapshot(w io.Writer) error {
+	f.calls++
+	if err := f.slots.WriteChunks(w); err != nil {
+		return err
+	}
+	return fmt.Errorf("synthetic write failure")
+}
+
+// A failed freeze must leave the index resident and fully usable — the
+// manager may only detach storage after the snapshot is safely on disk —
+// and must not be retried in a hot loop.
+func TestFailedFreezeKeepsIndexResident(t *testing.T) {
+	m, err := New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	fi := &failingIndex{fakeIndex: *newFakeIndex(32, 500)}
+	h := m.Register("flaky", fi, fi.Bytes)
+	if h.Frozen() {
+		t.Fatal("failed freeze marked the entry frozen")
+	}
+	if fi.Bytes() == 0 {
+		t.Fatal("failed freeze detached the index storage")
+	}
+	fi.verify(t, 32, 500) // data intact, index still queryable
+	if fi.calls != 1 {
+		t.Fatalf("freeze retried %d times after failing", fi.calls)
+	}
+	// Further pressure must not retry the failed entry.
+	other := newFakeIndex(32, 600)
+	m.Register("ok", other, other.Bytes)
+	if fi.calls != 1 {
+		t.Fatalf("failed entry retried under later pressure (%d calls)", fi.calls)
+	}
+	if err := h.Pin(); err != nil { // resident: pin is a no-op thaw-wise
+		t.Fatal(err)
+	}
+	fi.verify(t, 32, 500)
+	h.Unpin()
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"64k":    64 << 10,
+		"64K":    64 << 10,
+		"64kb":   64 << 10,
+		"64KiB":  64 << 10,
+		"256MiB": 256 << 20,
+		"256mb":  256 << 20,
+		"1.5g":   3 << 29,
+		"2T":     2 << 40,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "12q", "mib"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) did not fail", bad)
+		}
+	}
+}

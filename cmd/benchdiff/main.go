@@ -3,20 +3,23 @@
 //
 // Usage:
 //
-//	benchdiff -old baseline.txt -new current.txt [-threshold 15] [-min-samples 3]
+//	benchdiff -old baseline.txt -new current.txt [-threshold 15]
+//	          [-allocs-threshold 15] [-min-samples 3]
 //
 // Both files hold standard Go benchmark output (any -count). For every
-// benchmark present in both files, the *median* ns/op is compared; a
-// benchmark fails when the new median is more than -threshold percent
-// slower AND the regression is significant: both sides have at least
+// benchmark present in both files, the *median* ns/op is compared — and,
+// when both sides were run with -benchmem, the median allocs/op too; a
+// metric fails when the new median is more than its threshold percent
+// worse AND the regression is significant: both sides have at least
 // -min-samples samples (run with -count 6) and the sample ranges do not
-// overlap (every new run slower than every old run — a non-parametric
+// overlap (every new run worse than every old run — a non-parametric
 // separation test that keeps shared-runner noise, which routinely swings
-// individual medians past 10%, from flaking the gate). Suspicious but
-// overlapping regressions are marked '?' and reported without failing.
-// Benchmarks present on only one side are reported but never fail the
-// comparison, so adding or removing benchmarks does not break the CI
-// gate.
+// individual medians past 10%, from flaking the gate). Allocation counts
+// are far less noisy than wall time, but the same rule keeps the two
+// gates uniform. Suspicious but overlapping regressions are marked '?'
+// and reported without failing. Benchmarks present on only one side are
+// reported but never fail the comparison, so adding or removing
+// benchmarks does not break the CI gate.
 //
 // benchdiff is the deterministic gate of the benchmark-regression CI job;
 // benchstat (golang.org/x/perf) renders the human-readable report next to
@@ -28,22 +31,27 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 )
 
-// benchLine matches e.g. "BenchmarkX/sub-8   120  9123456 ns/op  12 B/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches e.g.
+// "BenchmarkX/sub-8   120  9123456 ns/op  12 B/op  3 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op)?`)
 
-func load(path string) (map[string][]float64, error) {
+// loadAll returns per-benchmark ns/op samples and (when -benchmem output
+// is present) allocs/op samples.
+func loadAll(path string) (ns, allocs map[string][]float64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	samples := map[string][]float64{}
+	ns = map[string][]float64{}
+	allocs = map[string][]float64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,9 +63,20 @@ func load(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		ns[m[1]] = append(ns[m[1]], v)
+		if m[3] != "" {
+			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+				allocs[m[1]] = append(allocs[m[1]], a)
+			}
+		}
 	}
-	return samples, sc.Err()
+	return ns, allocs, sc.Err()
+}
+
+// load keeps the ns/op-only view (tests use it).
+func load(path string) (map[string][]float64, error) {
+	ns, _, err := loadAll(path)
+	return ns, err
 }
 
 func median(xs []float64) float64 {
@@ -94,41 +113,71 @@ func main() {
 	oldPath := flag.String("old", "", "baseline benchmark output")
 	newPath := flag.String("new", "", "current benchmark output")
 	threshold := flag.Float64("threshold", 15, "fail on median ns/op regressions above this percentage")
+	allocsThreshold := flag.Float64("allocs-threshold", 15, "fail on median allocs/op regressions above this percentage (needs -benchmem output on both sides)")
 	minSamples := flag.Int("min-samples", 3, "samples required on both sides before a regression can fail the gate")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	oldS, err := load(*oldPath)
+	oldNs, oldAllocs, err := loadAll(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newS, err := load(*newPath)
+	newNs, newAllocs, err := loadAll(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 
+	nsFailed, nsCompared := compareMetric("ns/op", oldNs, newNs, *threshold, *minSamples, true)
+	allocFailed, _ := compareMetric("allocs/op", oldAllocs, newAllocs, *allocsThreshold, *minSamples, false)
+	if nsCompared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks — wrong files?")
+		os.Exit(2)
+	}
+	failed := nsFailed + allocFailed
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond their threshold\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within thresholds\n", nsCompared)
+}
+
+// compareMetric renders one metric's old-vs-new table and returns how
+// many benchmarks failed the gate and how many were compared. reportOnly
+// controls whether one-sided benchmarks are listed (once is enough).
+func compareMetric(unit string, oldS, newS map[string][]float64, threshold float64, minSamples int, reportSingles bool) (failed, compared int) {
 	names := make([]string, 0, len(oldS))
 	for name := range oldS {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := 0
-	compared := 0
+	if len(names) > 0 {
+		fmt.Printf("--- %s (median, >%.0f%% separated fails)\n", unit, threshold)
+	}
 	for _, name := range names {
 		ns, ok := newS[name]
 		if !ok {
-			fmt.Printf("  %-60s removed (baseline only)\n", name)
+			if reportSingles {
+				fmt.Printf("  %-60s removed (baseline only)\n", name)
+			}
 			continue
 		}
 		os_, nsM := median(oldS[name]), median(ns)
-		delta := (nsM - os_) / os_ * 100
+		var delta float64
+		switch {
+		case os_ != 0:
+			delta = (nsM - os_) / os_ * 100
+		case nsM != 0:
+			// 0 → nonzero (e.g. an allocation-free kernel starts
+			// allocating): infinitely worse, beyond any threshold.
+			delta = math.Inf(1)
+		}
 		mark := " "
-		if delta > *threshold {
-			enough := len(oldS[name]) >= *minSamples && len(ns) >= *minSamples
+		if delta > threshold {
+			enough := len(oldS[name]) >= minSamples && len(ns) >= minSamples
 			if enough && minOf(ns) > maxOf(oldS[name]) {
 				mark = "✗" // separated distributions: a real regression
 				failed++
@@ -137,21 +186,15 @@ func main() {
 			}
 		}
 		compared++
-		fmt.Printf("%s %-60s %12.0f → %12.0f ns/op  %+6.1f%%  (n=%d/%d)\n",
-			mark, name, os_, nsM, delta, len(oldS[name]), len(ns))
+		fmt.Printf("%s %-60s %12.0f → %12.0f %s  %+6.1f%%  (n=%d/%d)\n",
+			mark, name, os_, nsM, unit, delta, len(oldS[name]), len(ns))
 	}
-	for name := range newS {
-		if _, ok := oldS[name]; !ok {
-			fmt.Printf("  %-60s new (no baseline)\n", name)
+	if reportSingles {
+		for name := range newS {
+			if _, ok := oldS[name]; !ok {
+				fmt.Printf("  %-60s new (no baseline)\n", name)
+			}
 		}
 	}
-	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks — wrong files?")
-		os.Exit(2)
-	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", failed, *threshold)
-		os.Exit(1)
-	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", compared, *threshold)
+	return failed, compared
 }

@@ -69,3 +69,43 @@ func TestSeparationRule(t *testing.T) {
 		t.Fatalf("small delta = %s, want pass", got)
 	}
 }
+
+func TestLoadAllParsesAllocs(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBench(t, dir, "a.txt", `
+BenchmarkFoo-8   	     120	   9123456 ns/op	      12 B/op	       7 allocs/op
+BenchmarkFoo-8   	     121	   9200000 ns/op	      12 B/op	       9 allocs/op
+BenchmarkBar-8   	       5	  97436448 ns/op
+PASS
+`)
+	ns, allocs, err := loadAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ns["BenchmarkFoo"]); got != 2 {
+		t.Fatalf("ns samples = %d", got)
+	}
+	if got := allocs["BenchmarkFoo"]; len(got) != 2 || median(got) != 8 {
+		t.Fatalf("allocs samples = %v", got)
+	}
+	if _, ok := allocs["BenchmarkBar"]; ok {
+		t.Fatal("allocs recorded for a benchmark without -benchmem output")
+	}
+}
+
+// The allocs gate must fail a separated allocation regression even when
+// ns/op stays flat.
+func TestCompareMetricAllocsGate(t *testing.T) {
+	oldA := map[string][]float64{"BenchmarkX": {10, 10, 10}}
+	newA := map[string][]float64{"BenchmarkX": {20, 21, 20}}
+	failed, compared := compareMetric("allocs/op", oldA, newA, 15, 3, false)
+	if failed != 1 || compared != 1 {
+		t.Fatalf("failed=%d compared=%d, want 1/1", failed, compared)
+	}
+	// Overlapping samples stay suspect-only.
+	failed, _ = compareMetric("allocs/op", map[string][]float64{"BenchmarkX": {10, 25, 10}},
+		map[string][]float64{"BenchmarkX": {20, 21, 11}}, 15, 3, false)
+	if failed != 0 {
+		t.Fatalf("overlapping allocs regression failed the gate")
+	}
+}

@@ -2,21 +2,27 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|layout|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
 //	          [-workers N] [-morsels M] [-membudget 256MiB]
-//	          [-benchjson BENCH_qppt.json] [-benchlabel PR-3]
+//	          [-recycle] [-mmapthaw]
+//	          [-benchjson BENCH_qppt.json] [-benchlabel PR-4]
 //
 // -benchjson appends a machine-readable perf snapshot (per-query ms, the
-// arena-vs-pointer layout ablation, index build costs) to the snapshot
-// history in the given file, so the perf trajectory accumulates across
-// PRs; -benchlabel names the snapshot. A pre-history file holding a single
-// snapshot object is absorbed as the first history entry.
+// memory-lifecycle ablation) to the snapshot history in the given file,
+// so the perf trajectory accumulates across PRs; -benchlabel names the
+// snapshot. A pre-history file holding a single snapshot object is
+// absorbed as the first history entry, and the retired arena-vs-pointer
+// layout rows of older snapshots are preserved verbatim.
 //
 // -membudget runs the figure-7 QPPT rows a second time under that
 // intermediate-index memory budget (index spilling enabled) and records
 // them with a membudget= config label — the spill-enabled configuration of
-// the perf trajectory. Accepts plain bytes or K/M/G suffixes.
+// the perf trajectory. Accepts plain bytes or K/M/G suffixes. -recycle and
+// -mmapthaw enable the plan-scoped chunk recycler and the zero-copy mmap
+// restore for the QPPT engine rows (and are recorded in the config
+// labels); -fig memlife runs the dedicated memory-lifecycle ablation
+// (allocs, GC pause, thaw bytes read) across those configurations.
 //
 // -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
 // shared worker pool of that size (morsel-driven parallelism); -morsels
@@ -54,8 +60,13 @@ type benchSnapshot struct {
 	Workers   int               `json:"workers"`
 	GoMaxP    int               `json:"gomaxprocs"`
 	MemBudget int64             `json:"membudget,omitempty"`
+	Recycle   bool              `json:"recycle,omitempty"`
+	MmapThaw  bool              `json:"mmapthaw,omitempty"`
 	Queries   []bench.QueryTime `json:"queries,omitempty"`
-	Layout    []bench.LayoutRow `json:"layout,omitempty"`
+	// Layout carries the retired arena-vs-pointer ablation of older
+	// snapshots verbatim, so appending never rewrites recorded history.
+	Layout  json.RawMessage    `json:"layout,omitempty"`
+	MemLife []bench.MemLifeRow `json:"memlife,omitempty"`
 }
 
 // benchHistory is the BENCH_qppt.json layout: snapshots in append order.
@@ -78,7 +89,7 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 	default:
 		if jerr := json.Unmarshal(data, &hist); jerr != nil || len(hist.Snapshots) == 0 {
 			var legacy benchSnapshot
-			if jerr2 := json.Unmarshal(data, &legacy); jerr2 == nil && (legacy.Queries != nil || legacy.Layout != nil) {
+			if jerr2 := json.Unmarshal(data, &legacy); jerr2 == nil && (legacy.Queries != nil || len(legacy.Layout) > 0) {
 				hist.Snapshots = []benchSnapshot{legacy}
 			} else if jerr != nil {
 				return fmt.Errorf("parse %s (refusing to overwrite history): %w", path, jerr)
@@ -94,7 +105,7 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, layout, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
@@ -102,10 +113,12 @@ func main() {
 	workers := flag.Int("workers", 1, "shared worker pool size for the QPPT engine (1 = serial, the paper's mode)")
 	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
 	membudget := flag.String("membudget", "", "also time the fig-7 QPPT rows under this intermediate-index memory budget (index spilling; e.g. 256MiB)")
-	benchjson := flag.String("benchjson", "", "append a JSON perf snapshot (query times, layout ablation) to the history in this file")
+	recycle := flag.Bool("recycle", false, "enable the plan-scoped chunk recycler for the QPPT engine rows")
+	mmapthaw := flag.Bool("mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
+	benchjson := flag.String("benchjson", "", "append a JSON perf snapshot (query times, memory-lifecycle ablation) to the history in this file")
 	benchlabel := flag.String("benchlabel", "", "label for the appended perf snapshot (e.g. the PR number)")
 	flag.Parse()
-	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels}
+	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels, Recycle: *recycle, MmapThaw: *mmapthaw}
 	var budget int64
 	if *membudget != "" {
 		b, err := spill.ParseBytes(*membudget)
@@ -118,6 +131,7 @@ func main() {
 	snap := benchSnapshot{
 		Label: *benchlabel, When: time.Now().UTC().Format(time.RFC3339),
 		SF: *sf, Workers: *workers, GoMaxP: runtime.GOMAXPROCS(0), MemBudget: budget,
+		Recycle: *recycle, MmapThaw: *mmapthaw,
 	}
 
 	var sizes []int
@@ -173,7 +187,14 @@ func main() {
 			fmt.Printf("=== Figure 7 (QPPT rows) under -membudget %s (index spilling) [ms] ===\n", *membudget)
 			spillExec := exec
 			spillExec.MemBudget = budget
-			srows, err := bench.QPPTTimes(dataset(), *reps, spillExec, fmt.Sprintf("membudget=%s", *membudget))
+			cfgLabel := fmt.Sprintf("membudget=%s", *membudget)
+			if *recycle {
+				cfgLabel += ",recycle"
+			}
+			if *mmapthaw {
+				cfgLabel += ",mmapthaw"
+			}
+			srows, err := bench.QPPTTimes(dataset(), *reps, spillExec, cfgLabel)
 			if err != nil {
 				fatal(err)
 			}
@@ -252,18 +273,20 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if wants("layout") {
-		fmt.Println("=== Ablation: arena vs pointer index layout ===")
-		n := min(sizes[0], 2000000)
-		rows := bench.AblationLayout(n)
+	if wants("memlife") {
+		fmt.Println("=== Ablation: plan memory lifecycle (recycler, mmap/partial thaw) over the SSB suite ===")
+		rows, err := bench.AblationMemLifecycle(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
 		for _, r := range rows {
-			fmt.Printf("  %-8s %8d keys  build %7.1f ns/key  batch-lookup %7.1f ns/key  index %7.2f MB  alloc %8.2f MB (%d objs)  GC pause %6.2f ms (%d cycles)\n",
-				r.Layout, r.Keys, r.BuildNs, r.LookupBatchNs,
-				float64(r.IndexBytes)/1e6, float64(r.AllocBytes)/1e6, r.Allocs,
-				float64(r.GCPauseNs)/1e6, r.NumGC)
+			fmt.Printf("  %-24s %9.1f ms  alloc %8.2f MB (%9d objs)  GC pause %6.2f ms (%3d cycles)  thaw-read %10s  reused %6d chunks (%s saved)\n",
+				r.Config, r.Millis, float64(r.AllocBytes)/1e6, r.Allocs,
+				float64(r.GCPauseNs)/1e6, r.NumGC, spill.FormatBytes(r.ThawBytesRead),
+				r.ChunksReused, spill.FormatBytes(r.SavedBytes))
 		}
 		fmt.Println()
-		snap.Layout = rows
+		snap.MemLife = rows
 	}
 	if *benchjson != "" {
 		if err := appendSnapshot(*benchjson, snap); err != nil {

@@ -5,11 +5,16 @@
 //
 //	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
 //	        [-workers N] [-morsels M] [-membudget 256MiB]
+//	        [-recycle] [-mmapthaw]
 //
 // -membudget caps the resident bytes of each plan's intermediate indexes;
 // cold intermediates spill to temp files and are restored on next access
 // (index spilling — results are identical, \stats shows the traffic).
-// Accepts plain bytes or K/M/G suffixes (powers of 1024).
+// Accepts plain bytes or K/M/G suffixes (powers of 1024). -recycle pools
+// dropped intermediates' chunks for reuse within each plan; -mmapthaw
+// restores spilled intermediates zero-copy by adopting privately mapped
+// spill-file pages. Both are pure storage decisions — results are
+// identical, \stats shows the savings.
 //
 // Meta commands inside the shell:
 //
@@ -42,6 +47,8 @@ func main() {
 	workers := flag.Int("workers", 1, "shared worker pool size for morsel-driven parallel execution (1 = serial)")
 	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
 	membudget := flag.String("membudget", "", "intermediate-index memory budget (e.g. 256MiB); empty = unlimited, no spilling")
+	recycle := flag.Bool("recycle", false, "recycle dropped intermediates' chunks within each plan")
+	mmapthaw := flag.Bool("mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
 	flag.Parse()
 
 	var budget int64
@@ -98,14 +105,14 @@ func main() {
 				continue
 			}
 			fmt.Println(text)
-			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels, budget))
+			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels, budget, *recycle, *mmapthaw))
 			prompt()
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte(' ')
 		if strings.HasSuffix(line, ";") {
-			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels, budget))
+			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels, budget, *recycle, *mmapthaw))
 			buf.Reset()
 		}
 		prompt()
@@ -113,8 +120,11 @@ func main() {
 }
 
 // exec assembles the execution options from the shell flags.
-func exec(buffer, workers, morsels int, membudget int64) core.Options {
-	return core.Options{BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels, MemBudget: membudget}
+func exec(buffer, workers, morsels int, membudget int64, recycle, mmapthaw bool) core.Options {
+	return core.Options{
+		BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels,
+		MemBudget: membudget, Recycle: recycle, MmapThaw: mmapthaw,
+	}
 }
 
 func run(planner *sql.Planner, text string, stats, noSJ bool, exec core.Options) {

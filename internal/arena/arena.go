@@ -65,6 +65,7 @@ type Arena[T any] struct {
 	bits   uint   // log2 elements per chunk
 	mask   uint32 // elements per chunk - 1
 	n      int
+	rec    *Recycler // optional chunk pool (SetRecycler)
 }
 
 // Make returns an arena with 2^chunkBits elements per chunk.
@@ -75,10 +76,25 @@ func Make[T any](chunkBits uint) Arena[T] {
 	return Arena[T]{bits: chunkBits, mask: 1<<chunkBits - 1}
 }
 
+// SetRecycler routes the arena's chunk allocations through a plan-scoped
+// chunk pool: growth draws matching chunks from rec before asking the
+// heap, and Reset parks the chunks there instead of dropping them to the
+// garbage collector. A nil rec restores plain heap allocation.
+func (a *Arena[T]) SetRecycler(rec *Recycler) { a.rec = rec }
+
 // At returns the address of element idx. The address is stable: chunks
 // never move or shrink.
 func (a *Arena[T]) At(idx uint32) *T {
 	return &a.chunks[idx>>a.bits][idx&a.mask]
+}
+
+// grabChunk returns an empty chunk at full capacity, recycled when the
+// pool has one.
+func (a *Arena[T]) grabChunk() []T {
+	if c, ok := GetChunk[T](a.rec, 1<<a.bits); ok {
+		return c
+	}
+	return make([]T, 0, 1<<a.bits)
 }
 
 // Alloc appends v and returns its index.
@@ -88,7 +104,7 @@ func (a *Arena[T]) Alloc(v T) uint32 {
 	}
 	c := a.n >> a.bits
 	if c == len(a.chunks) {
-		a.chunks = append(a.chunks, make([]T, 0, 1<<a.bits))
+		a.chunks = append(a.chunks, a.grabChunk())
 	}
 	a.chunks[c] = append(a.chunks[c], v)
 	a.n++
@@ -110,7 +126,12 @@ func (a *Arena[T]) Bytes() int {
 // Reset drops every chunk, returning the arena to its post-Make state (the
 // chunk geometry is kept). Spilling uses it to detach element storage after
 // the elements were written out, and again to rebuild the arena on thaw.
+// With a recycler configured the chunks are cleared and parked for reuse
+// instead of going to the garbage collector.
 func (a *Arena[T]) Reset() {
+	for _, c := range a.chunks {
+		PutChunk(a.rec, c)
+	}
 	a.chunks = nil
 	a.n = 0
 }
@@ -146,8 +167,17 @@ type Slots struct {
 	blockBits    uint // log2 slots per block (the node fanout)
 	perChunkBits uint // log2 blocks per chunk
 	chunks       [][]uint32
-	n            int      // blocks ever allocated (excluding recycled)
-	free         []uint32 // recycled block ordinals
+	n            int       // blocks ever allocated (excluding recycled)
+	free         []uint32  // recycled block ordinals
+	rec          *Recycler // optional chunk pool (SetRecycler)
+
+	// mappedN counts the leading chunks that alias an mmap-ed spill file
+	// (ReadChunksMapped). Mapped chunks are writable — the mapping is
+	// private, so stores copy pages instead of touching the file — but
+	// they are not heap memory: Reset/Detach must drop them without
+	// recycling, and Unmap copies them to the heap when the mapping has
+	// to outlive the arena's owner.
+	mappedN int
 }
 
 // slotsChunkTarget is the chunk allocation granularity in slots (256 KiB
@@ -169,8 +199,40 @@ func MakeSlots(blockLen int) Slots {
 	return Slots{blockBits: blockBits, perChunkBits: perChunkBits}
 }
 
+// SetRecycler routes chunk growth through a plan-scoped chunk pool, like
+// Arena.SetRecycler.
+func (s *Slots) SetRecycler(rec *Recycler) { s.rec = rec }
+
 // blockLen reports the slots per block.
 func (s *Slots) blockLen() int { return 1 << s.blockBits }
+
+// chunkWords reports the slot capacity of one chunk.
+func (s *Slots) chunkWords() int { return 1 << (s.perChunkBits + s.blockBits) }
+
+// grabChunk returns an empty slot chunk at full capacity, recycled when
+// the pool has one.
+func (s *Slots) grabChunk() []uint32 {
+	if c, ok := GetChunk[uint32](s.rec, s.chunkWords()); ok {
+		return c
+	}
+	return make([]uint32, 0, s.chunkWords())
+}
+
+// Mapped reports whether any chunk currently aliases an mmap-ed spill
+// file (see ReadChunksMapped).
+func (s *Slots) Mapped() bool { return s.mappedN > 0 }
+
+// Unmap copies every mapped chunk to the heap, so the arena survives the
+// unmapping of the spill file it was thawed from. A no-op for arenas with
+// no mapped chunks.
+func (s *Slots) Unmap() {
+	for i := 0; i < s.mappedN; i++ {
+		c := make([]uint32, len(s.chunks[i]), s.chunkWords())
+		copy(c, s.chunks[i])
+		s.chunks[i] = c
+	}
+	s.mappedN = 0
+}
 
 // Block returns block ord as a slice of its slots. The slice aliases
 // arena memory and stays valid as the arena grows.
@@ -193,7 +255,7 @@ func (s *Slots) Alloc() uint32 {
 	}
 	c := s.n >> s.perChunkBits
 	if c == len(s.chunks) {
-		s.chunks = append(s.chunks, make([]uint32, 0, 1<<(s.perChunkBits+s.blockBits)))
+		s.chunks = append(s.chunks, s.grabChunk())
 	}
 	s.chunks[c] = append(s.chunks[c], make([]uint32, s.blockLen())...)
 	s.n++

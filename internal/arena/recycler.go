@@ -1,0 +1,116 @@
+// Plan-scoped chunk recycling (ROADMAP "Arena reuse across operators").
+//
+// QPPT builds one prefix-tree index per operator, so a plan allocates and
+// drops the same chunk shapes over and over: 256 KiB node-slot chunks,
+// leaf-header chunks, 64 KiB duplicate slabs. A Recycler is a size-classed
+// free list those allocations can cycle through: when the executor drops an
+// intermediate index, its chunks are cleared and parked here instead of
+// being handed to the garbage collector, and the next index the plan
+// builds draws its chunks from the pool before asking the heap. A 13-query
+// SSB run then works against a near-steady-state chunk population instead
+// of re-allocating (and re-collecting) every operator's index from scratch.
+//
+// The pool is keyed by element type and chunk capacity, so a chunk only
+// ever comes back as what it was — a []Leaf chunk can never resurface as
+// node slots. Chunks are zeroed when they enter the pool (dropping any
+// payload references they held), which makes a recycled chunk
+// indistinguishable from a fresh make.
+//
+// A Recycler is safe for concurrent use: every pool worker building a
+// partial index draws from (and releases to) the same plan-scoped pool.
+// It holds whatever peak chunk population the plan reaches and is dropped
+// wholesale with the plan — there is no trimming policy, matching the
+// plan-scoped lifetime.
+package arena
+
+import (
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// A Recycler pools dropped arena chunks and slab blocks for reuse within
+// one plan execution. The zero value is not ready; create with NewRecycler.
+// A nil *Recycler is accepted everywhere and disables recycling.
+type Recycler struct {
+	mu    sync.Mutex
+	boxes map[chunkClass][]any // pooled chunks (boxed slices), by class
+	stats RecyclerStats
+}
+
+// chunkClass identifies one pool: chunks recycle only within their exact
+// element type and capacity.
+type chunkClass struct {
+	elem reflect.Type
+	cap  int
+}
+
+// RecyclerStats count the pool's traffic for plan statistics.
+type RecyclerStats struct {
+	// Recycled counts chunks parked in the pool; Reused counts chunk
+	// allocations served from it instead of the heap.
+	Recycled int
+	Reused   int
+	// SavedBytes is the heap allocation avoided by the served reuses.
+	SavedBytes int64
+}
+
+// NewRecycler returns an empty pool.
+func NewRecycler() *Recycler {
+	return &Recycler{boxes: make(map[chunkClass][]any)}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (r *Recycler) Stats() RecyclerStats {
+	if r == nil {
+		return RecyclerStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// classOf returns the pool key for element type T at the given capacity.
+func classOf[T any](capElems int) chunkClass {
+	return chunkClass{elem: reflect.TypeOf((*T)(nil)).Elem(), cap: capElems}
+}
+
+// PutChunk clears c and parks it for reuse. The caller must not touch c
+// afterwards; a later GetChunk may hand it out again. Chunks that alias
+// memory the caller does not own outright — e.g. mmap-adopted spill pages —
+// must never be put. A nil recycler (or a zero-capacity chunk) is a no-op.
+func PutChunk[T any](r *Recycler, c []T) {
+	if r == nil || cap(c) == 0 {
+		return
+	}
+	c = c[:cap(c)]
+	clear(c) // drop payload references; a recycled chunk reads as fresh
+	k := classOf[T](cap(c))
+	r.mu.Lock()
+	r.boxes[k] = append(r.boxes[k], c[:0])
+	r.stats.Recycled++
+	r.mu.Unlock()
+}
+
+// GetChunk returns a pooled zeroed chunk of exactly the requested element
+// capacity (length 0), or ok == false when the pool has none (or r is nil).
+func GetChunk[T any](r *Recycler, capElems int) ([]T, bool) {
+	if r == nil || capElems == 0 {
+		return nil, false
+	}
+	k := classOf[T](capElems)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pool := r.boxes[k]
+	n := len(pool)
+	if n == 0 {
+		return nil, false
+	}
+	c := pool[n-1].([]T)
+	pool[n-1] = nil
+	r.boxes[k] = pool[:n-1]
+	r.stats.Reused++
+	var zero T
+	r.stats.SavedBytes += int64(capElems) * int64(unsafe.Sizeof(zero))
+	return c, true
+}

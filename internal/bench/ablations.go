@@ -9,7 +9,6 @@ import (
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
-	"qppt/internal/prefixtree/ptrtree"
 	"qppt/internal/ssb"
 )
 
@@ -179,120 +178,105 @@ func AblationKISSCompression(n int) []CompressionRow {
 	return out
 }
 
-// A LayoutRow is one point of the index-layout ablation: the arena-backed
-// compact-pointer prefix tree against the retained pointer-based baseline
-// (package ptrtree), including the memory-system costs the layout change
-// targets — heap allocated during the build, index footprint, and GC
-// pause time accumulated while building.
-type LayoutRow struct {
-	Layout        string  // "arena" or "pointer"
-	Keys          int     // index size built
-	BuildNs       float64 // batched-insert build, per key
-	LookupBatchNs float64 // batched lookup, per key
-	IndexBytes    int     // Tree.Bytes() of the built index
-	AllocBytes    uint64  // heap allocated during the build
-	Allocs        uint64  // heap objects allocated during the build
-	GCPauseNs     uint64  // GC stop-the-world pause during the build
-	NumGC         uint32  // GC cycles during the build
+// A MemLifeRow is one configuration of the plan memory-lifecycle
+// ablation: the full 13-query SSB suite run under one allocate → spill →
+// thaw → recycle configuration, with the memory-system costs the
+// lifecycle work targets — heap allocation, GC pauses, and the
+// spill-file bytes restores actually had to copy.
+type MemLifeRow struct {
+	Config        string  `json:"config"`
+	Millis        float64 `json:"millis"`          // whole-suite wall time, best of reps
+	AllocBytes    uint64  `json:"allocBytes"`      // heap allocated during one suite pass
+	Allocs        uint64  `json:"allocs"`          // heap objects allocated during the pass
+	GCPauseNs     uint64  `json:"gcPauseNs"`       // GC stop-the-world pause during the pass
+	NumGC         uint32  `json:"numGC"`           // GC cycles during the pass
+	ThawBytesRead int64   `json:"thawBytesRead"`   // spill-file bytes copied by restores
+	ChunksReused  int     `json:"chunksReused"`    // allocations served by the recycler
+	SavedBytes    int64   `json:"recycleSavedBytes"` // heap allocation the reuses avoided
 }
 
-// AblationLayout builds one index of n random 64-bit keys per layout
-// through the batched insert path and probes it with batched lookups,
-// recording time, allocation, footprint and GC-pause deltas.
-func AblationLayout(n int) []LayoutRow {
-	keys := make([]uint64, n)
-	rng := rand.New(rand.NewSource(53))
-	for i := range keys {
-		keys[i] = rng.Uint64()
+// memLifeSuite runs the thirteen SSB queries once under exec and sums the
+// spill/recycler counters from the plan statistics.
+func memLifeSuite(ds *ssb.Dataset, exec core.Options) (thawRead int64, reused int, saved int64, err error) {
+	exec.CollectStats = true
+	for _, qid := range ssb.QueryIDs {
+		opt := ssb.DefaultPlanOptions()
+		opt.Exec = exec
+		_, stats, e := ds.RunQPPT(qid, opt)
+		if e != nil {
+			return 0, 0, 0, fmt.Errorf("bench: Q%s (%+v): %w", qid, exec, e)
+		}
+		thawRead += stats.RestoreBytesRead
+		reused += stats.ChunksReused
+		saved += stats.RecycleSavedBytes
 	}
-	rows := make([][]uint64, n)
-	backing := make([]uint64, n)
-	for i := range rows {
-		backing[i] = keys[i]
-		rows[i] = backing[i : i+1 : i+1]
-	}
-	probes := make([]uint64, n)
-	copy(probes, keys)
-	rng.Shuffle(n, func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+	return thawRead, reused, saved, nil
+}
 
-	var out []LayoutRow
-	for _, layout := range []string{"arena", "pointer"} {
-		// The timed region covers only the batched index build; Bytes()
-		// accounting (an O(n) walk on the pointer baseline) and lookup
-		// timing happen outside it, after the memory-stats snapshot.
-		var arenaTree *prefixtree.Tree
-		var ptrTree *ptrtree.Tree
+// AblationMemLifecycle compares the plan memory-lifecycle configurations
+// on the whole SSB suite: the GC baseline, the plan-scoped chunk
+// recycler, and spilling with the copying, mmap (zero-copy), and
+// mmap+recycler restore paths. The spill rows run under a 1-byte budget —
+// every cold intermediate spills and every re-read restores — because
+// that is the configuration that isolates the restore-path difference:
+// under a realistic budget the restore traffic depends on the scale
+// factor, and a budget above the peak shows nothing at all. The
+// interesting columns are allocations and GC pause (recycler) and thaw
+// bytes read (the mmap restore adopts the tree interior instead of
+// copying it).
+func AblationMemLifecycle(ds *ssb.Dataset, reps int) ([]MemLifeRow, error) {
+	type cfg struct {
+		name string
+		exec core.Options
+	}
+	cfgs := []cfg{
+		{"baseline", core.Options{}},
+		{"recycle", core.Options{Recycle: true}},
+		{"spill-all", core.Options{MemBudget: 1}},
+		{"spill-all+mmap", core.Options{MemBudget: 1, MmapThaw: true}},
+		{"spill-all+mmap+recycle", core.Options{MemBudget: 1, MmapThaw: true, Recycle: true}},
+	}
+	var out []MemLifeRow
+	for _, c := range cfgs {
+		var err error
+		ms, _ := timeIt(reps, func() int {
+			n := 0
+			for _, qid := range ssb.QueryIDs {
+				opt := ssb.DefaultPlanOptions()
+				opt.Exec = c.exec
+				r, _, e := ds.RunQPPT(qid, opt)
+				if e != nil {
+					err = e
+					return 0
+				}
+				n += len(r.Rows)
+			}
+			return n
+		})
+		if err != nil {
+			return nil, err
+		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		buildNs := timePerKey(n, func() {
-			if layout == "arena" {
-				t := prefixtree.MustNew(prefixtree.Config{PayloadWidth: 1})
-				for off := 0; off < n; off += fig3Batch {
-					end := min(off+fig3Batch, n)
-					t.InsertBatch(keys[off:end], rows[off:end])
-				}
-				arenaTree = t
-				return
-			}
-			t := ptrtree.MustNew(ptrtree.Config{PayloadWidth: 1})
-			for off := 0; off < n; off += fig3Batch {
-				end := min(off+fig3Batch, n)
-				t.InsertBatch(keys[off:end], rows[off:end])
-			}
-			ptrTree = t
-		})
+		thawRead, reused, saved, err := memLifeSuite(ds, c.exec)
+		if err != nil {
+			return nil, err
+		}
 		runtime.ReadMemStats(&after)
-		var idxBytes int
-		var lookup func() float64
-		if arenaTree != nil {
-			idxBytes = arenaTree.Bytes()
-			lookup = func() float64 {
-				return timePerKey(n, func() {
-					for off := 0; off < n; off += fig3Batch {
-						end := min(off+fig3Batch, n)
-						arenaTree.LookupBatch(probes[off:end], func(_ int, lf *prefixtree.Leaf) {
-							if lf != nil {
-								sink += lf.Key
-							}
-						})
-					}
-				})
-			}
-		} else {
-			idxBytes = ptrTree.Bytes()
-			lookup = func() float64 {
-				return timePerKey(n, func() {
-					for off := 0; off < n; off += fig3Batch {
-						end := min(off+fig3Batch, n)
-						ptrTree.LookupBatch(probes[off:end], func(_ int, lf *ptrtree.Leaf) {
-							if lf != nil {
-								sink += lf.Key
-							}
-						})
-					}
-				})
-			}
-		}
-		lookupNs := lookup()
-		for rep := 0; rep < 2; rep++ { // best-of-3 against timer noise
-			if ns := lookup(); ns < lookupNs {
-				lookupNs = ns
-			}
-		}
-		out = append(out, LayoutRow{
-			Layout:        layout,
-			Keys:          n,
-			BuildNs:       buildNs,
-			LookupBatchNs: lookupNs,
-			IndexBytes:    idxBytes,
+		out = append(out, MemLifeRow{
+			Config:        c.name,
+			Millis:        ms,
 			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
 			Allocs:        after.Mallocs - before.Mallocs,
 			GCPauseNs:     after.PauseTotalNs - before.PauseTotalNs,
 			NumGC:         after.NumGC - before.NumGC,
+			ThawBytesRead: thawRead,
+			ChunksReused:  reused,
+			SavedBytes:    saved,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // A DuplicateRow is one point of the duplicate-layout ablation (paper

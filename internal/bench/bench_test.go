@@ -130,3 +130,34 @@ func TestAblationHarness(t *testing.T) {
 		t.Fatalf("batch rows = %d", len(rows))
 	}
 }
+
+// The memory-lifecycle ablation must produce one row per configuration
+// with the recycler and restore-path counters actually moving where the
+// configuration enables them.
+func TestMemLifecycleHarness(t *testing.T) {
+	ds := ssb.MustLoad(ssb.GenConfig{SF: 0.005, Seed: 5})
+	if err := WarmupQueries(ds); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblationMemLifecycle(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("memlife ablation has %d rows, want 5", len(rows))
+	}
+	byCfg := map[string]MemLifeRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	if byCfg["recycle"].ChunksReused == 0 {
+		t.Error("recycle config reused no chunks")
+	}
+	if byCfg["spill-all"].ThawBytesRead == 0 {
+		t.Error("spill-all config read no thaw bytes")
+	}
+	if mm := byCfg["spill-all+mmap"].ThawBytesRead; mm >= byCfg["spill-all"].ThawBytesRead {
+		t.Errorf("mmap restore read %d bytes, copy restore %d — no zero-copy savings",
+			mm, byCfg["spill-all"].ThawBytesRead)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 	"qppt/internal/spill"
 )
@@ -39,12 +40,6 @@ type Options struct {
 	// morsels. More morsels resist skew better but leave more partial
 	// outputs to merge. Default DefaultMorselsPerWorker.
 	MorselsPerWorker int
-	// PointerLayout builds intermediate prefix-tree indexes with the
-	// retained pointer-based baseline (package ptrtree) instead of the
-	// arena-backed compact-pointer layout. It exists for the layout
-	// ablation benchmarks and differential tests; production plans leave
-	// it false. KISS-Tree intermediates are arena-backed either way.
-	PointerLayout bool
 	// MemBudget caps the resident bytes of the plan's intermediate
 	// indexes. When the plan exceeds it, cold intermediates are frozen —
 	// their arena chunks written to temp files in one sequential pass —
@@ -56,6 +51,21 @@ type Options struct {
 	// private directory under the OS temp dir, removed when the plan
 	// finishes.
 	SpillDir string
+	// Recycle enables the plan-scoped chunk recycler: when the last
+	// consumer of an intermediate index finishes, the index's node
+	// chunks, leaf chunks and slab blocks are cleared and parked in a
+	// size-classed pool that later index allocations (including worker
+	// partials and thaws) draw from first — instead of cycling the same
+	// chunk shapes through the garbage collector once per operator.
+	// Results are identical either way.
+	Recycle bool
+	// MmapThaw restores spilled intermediates by memory-mapping the
+	// spill file (privately) and adopting the mapped pages as the index
+	// arenas' chunks — the tree interior is never copied and untouched
+	// pages fault in lazily. Platforms or index kinds without mmap
+	// support silently fall back to the copying restore. Results are
+	// identical either way.
+	MmapThaw bool
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
 }
@@ -87,7 +97,8 @@ func (o Options) morselsPerWorker() int {
 type ExecContext struct {
 	opts    Options
 	sched   *Scheduler
-	mu      sync.Mutex // guards opStats under intra-operator parallelism
+	rec     *arena.Recycler // plan-scoped chunk pool (nil without Recycle)
+	mu      sync.Mutex      // guards opStats under intra-operator parallelism
 	opStats *OperatorStats
 }
 
@@ -180,6 +191,20 @@ type PlanStats struct {
 	SpillBytes   int64
 	RestoreBytes int64
 	PeakResident int64
+	// RestoreBytesRead counts the spill-file bytes actually copied during
+	// restores (mmap-adopted pages and range-skipped chunks excluded);
+	// MmapRestores and PartialRestores count the zero-copy and
+	// range-restricted restore events.
+	RestoreBytesRead int64
+	MmapRestores     int
+	PartialRestores  int
+	// ChunksRecycled/ChunksReused/RecycleSavedBytes aggregate the plan
+	// recycler's traffic under Options.Recycle: chunks parked in the
+	// pool, chunk allocations served from it, and the heap allocation
+	// those reuses avoided.
+	ChunksRecycled    int
+	ChunksReused      int
+	RecycleSavedBytes int64
 }
 
 func (ps *PlanStats) String() string {
@@ -188,9 +213,18 @@ func (ps *PlanStats) String() string {
 	}
 	s := fmt.Sprintf("total %v (pool: %d workers × %d morsels)\n", ps.Total, ps.Workers, ps.MorselsPerWorker)
 	if ps.MemBudget > 0 {
-		s += fmt.Sprintf("membudget %s: %d spills (%s out), %d restores (%s in), peak resident %s\n",
+		s += fmt.Sprintf("membudget %s: %d spills (%s out), %d restores (%s in, %s read), peak resident %s\n",
 			spill.FormatBytes(ps.MemBudget), ps.Spills, spill.FormatBytes(ps.SpillBytes),
-			ps.Restores, spill.FormatBytes(ps.RestoreBytes), spill.FormatBytes(ps.PeakResident))
+			ps.Restores, spill.FormatBytes(ps.RestoreBytes), spill.FormatBytes(ps.RestoreBytesRead),
+			spill.FormatBytes(ps.PeakResident))
+		if ps.MmapRestores > 0 || ps.PartialRestores > 0 {
+			s += fmt.Sprintf("  %d mmap (zero-copy) restores, %d partial (range-restricted) restores\n",
+				ps.MmapRestores, ps.PartialRestores)
+		}
+	}
+	if ps.ChunksRecycled > 0 || ps.ChunksReused > 0 {
+		s += fmt.Sprintf("recycler: %d chunks parked, %d reused (%s of allocation avoided)\n",
+			ps.ChunksRecycled, ps.ChunksReused, spill.FormatBytes(ps.RecycleSavedBytes))
 	}
 	for _, op := range ps.Ops {
 		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B",
@@ -221,8 +255,24 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 		sched: NewScheduler(opts.poolWorkers()),
 		memo:  make(map[Operator]*memoEntry),
 	}
+	if opts.Recycle {
+		ex.rec = arena.NewRecycler()
+	}
+	if opts.Recycle || opts.MemBudget > 0 {
+		// Consumer counting drives both chunk recycling and the early
+		// deletion of spill files: an intermediate nobody will read again
+		// should neither sit in the chunk pool's way nor keep a snapshot
+		// on disk until the plan ends.
+		ex.uses = make(map[Operator]int)
+		countUses(pl.Root, ex.uses)
+		ex.uses[pl.Root]++ // the caller consumes the result; never drop it
+	}
 	if opts.MemBudget > 0 {
-		mgr, err := spill.New(opts.MemBudget, opts.SpillDir)
+		mgr, err := spill.NewConfig(spill.Config{
+			Budget: opts.MemBudget,
+			Dir:    opts.SpillDir,
+			Mmap:   opts.MmapThaw,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -244,7 +294,8 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 	}
 	if ex.spill != nil {
 		// The result index must survive Close: thaw it and stop evicting
-		// it (the pin is never released — the manager is done).
+		// it (the pin is never released — the manager is done). Close
+		// materializes any mmap-adopted chunks before unmapping.
 		if h := ex.handleOf(out); h != nil {
 			if err := h.Pin(); err != nil {
 				return nil, nil, err
@@ -254,6 +305,8 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 			ms := ex.spill.Stats()
 			stats.Spills, stats.Restores = ms.Spills, ms.Restores
 			stats.SpillBytes, stats.RestoreBytes = ms.SpillBytes, ms.RestoreBytes
+			stats.RestoreBytesRead = ms.RestoreBytesRead
+			stats.MmapRestores, stats.PartialRestores = ms.MmapRestores, ms.PartialRestores
 			stats.PeakResident = ms.Peak
 			for _, ref := range ex.spillOps {
 				stats.Ops[ref.op].Spills, stats.Ops[ref.op].Restores = ref.h.Counts()
@@ -261,9 +314,27 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 		}
 	}
 	if stats != nil {
+		if ex.rec != nil {
+			rs := ex.rec.Stats()
+			stats.ChunksRecycled, stats.ChunksReused = rs.Recycled, rs.Reused
+			stats.RecycleSavedBytes = rs.SavedBytes
+		}
 		stats.Total = time.Since(t0)
 	}
 	return out, stats, nil
+}
+
+// countUses walks the plan DAG once and counts, per operator, how many
+// parent edges consume its output. The executor decrements the count as
+// parents finish; at zero the intermediate is dropped and its chunks
+// recycled.
+func countUses(op Operator, uses map[Operator]int) {
+	for _, c := range op.Children() {
+		uses[c]++
+		if uses[c] == 1 {
+			countUses(c, uses)
+		}
+	}
 }
 
 // executor memoizes operator outputs so DAG-shaped plans run each operator
@@ -276,6 +347,12 @@ type executor struct {
 	sched *Scheduler
 	mu    sync.Mutex
 	memo  map[Operator]*memoEntry
+
+	// rec and uses implement plan-scoped chunk recycling (Options.Recycle):
+	// uses holds the remaining consumer count per operator output, and rec
+	// receives the chunks of outputs whose count reaches zero.
+	rec  *arena.Recycler
+	uses map[Operator]int
 
 	spill    *spill.Manager
 	handles  map[*IndexedTable]*spill.Handle // intermediate table → spill handle
@@ -298,6 +375,43 @@ func (ex *executor) handleOf(t *IndexedTable) *spill.Handle {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	return ex.handles[t]
+}
+
+// releaseInput decrements an operator output's remaining-consumer count
+// and, at zero, drops the intermediate: its spill state (file, mapping)
+// is removed so the spill directory holds only snapshots a consumer may
+// still need, and — with Options.Recycle — its chunk storage is parked in
+// the plan pool. Base tables are never dropped; the plan root carries an
+// extra use so the result survives. Drop precedes Recycle: Drop waits out
+// any in-flight freeze/thaw of the entry and releases the file mapping,
+// after which recycling only touches heap chunks (mapped ones are
+// skipped).
+func (ex *executor) releaseInput(op Operator, t *IndexedTable) {
+	if t == nil {
+		return
+	}
+	if _, isBase := op.(*Base); isBase {
+		return
+	}
+	ex.mu.Lock()
+	ex.uses[op]--
+	done := ex.uses[op] == 0
+	var h *spill.Handle
+	if done && ex.handles != nil {
+		h = ex.handles[t]
+	}
+	ex.mu.Unlock()
+	if !done {
+		return
+	}
+	if h != nil {
+		h.Drop()
+	}
+	if ex.rec != nil {
+		if rc, ok := t.Idx.(chunkRecycler); ok {
+			rc.Recycle()
+		}
+	}
 }
 
 type memoEntry struct {
@@ -352,7 +466,12 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			}
 		}
 		// Spilled inputs must be restored — and protected from eviction —
-		// while the operator scans and probes them.
+		// while the operator scans and probes them. Operators that only
+		// touch part of an input's key space (inputRanger) pin that range,
+		// so a frozen input thaws only the chunks the scan will reach.
+		// Handles are acquired in Seq order: an uncovered range top-up
+		// waits for an entry's pins to drain, and ordered acquisition
+		// keeps those waits cycle-free across concurrent branches.
 		var pinned []*spill.Handle
 		unpin := func() {
 			for _, h := range pinned {
@@ -361,18 +480,53 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			pinned = nil
 		}
 		if ex.spill != nil {
-			for _, in := range inputs {
-				if h := ex.handleOf(in); h != nil {
-					if err := h.Pin(); err != nil {
-						unpin()
-						e.err = err
-						return
-					}
-					pinned = append(pinned, h)
+			type pinReq struct {
+				h      *spill.Handle
+				lo, hi uint64
+				ranged bool
+			}
+			rr, _ := op.(inputRanger)
+			byHandle := make(map[*spill.Handle]*pinReq)
+			var order []*pinReq
+			for i, in := range inputs {
+				h := ex.handleOf(in)
+				if h == nil {
+					continue
 				}
+				var lo, hi uint64
+				ranged := false
+				if rr != nil {
+					lo, hi, ranged = rr.inputKeyRange(i)
+				}
+				if r, ok := byHandle[h]; ok {
+					// One pin must serve every ordinal reading this
+					// intermediate; widen to full unless the ranges agree.
+					if !ranged || !r.ranged || r.lo != lo || r.hi != hi {
+						r.ranged = false
+					}
+					continue
+				}
+				r := &pinReq{h: h, lo: lo, hi: hi, ranged: ranged}
+				byHandle[h] = r
+				order = append(order, r)
+			}
+			sort.Slice(order, func(a, b int) bool { return order[a].h.Seq() < order[b].h.Seq() })
+			for _, r := range order {
+				var err error
+				if r.ranged {
+					err = r.h.PinRange(r.lo, r.hi)
+				} else {
+					err = r.h.Pin()
+				}
+				if err != nil {
+					unpin()
+					e.err = err
+					return
+				}
+				pinned = append(pinned, r.h)
 			}
 		}
-		ec := &ExecContext{opts: ex.opts, sched: ex.sched}
+		ec := &ExecContext{opts: ex.opts, sched: ex.sched, rec: ex.rec}
 		if stats != nil {
 			if _, isBase := op.(*Base); !isBase {
 				e.st = &OperatorStats{Label: op.Label()}
@@ -400,6 +554,15 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 					ex.handles[e.out] = h
 					ex.mu.Unlock()
 				}
+			}
+		}
+		// Each input has served one more consumer; drop the ones no other
+		// operator will read — deleting their spill state and, with a
+		// recycler, returning their chunks to the pool the next index
+		// allocation draws from.
+		if ex.uses != nil && e.err == nil {
+			for i, c := range children {
+				ex.releaseInput(c, inputs[i])
 			}
 		}
 	})

@@ -16,10 +16,10 @@
 package core
 
 import (
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
-	"qppt/internal/prefixtree/ptrtree"
 )
 
 // Index is the common surface of the two prefix-tree index structures QPPT
@@ -77,12 +77,10 @@ type IndexConfig struct {
 	// nodes. QPPT leaves this off for dense domains to avoid the RCU
 	// copy overhead (paper Section 2.2).
 	CompressKISS bool
-	// PointerLayout selects the retained pointer-based prefix tree
-	// (package ptrtree) instead of the arena-backed compact-pointer
-	// layout — the "before" side of the layout ablation. It only affects
-	// indexes that would use a prefix tree; KISS-Trees are arena-backed
-	// in both modes.
-	PointerLayout bool
+	// Recycler, if non-nil, routes the index's chunk storage through a
+	// plan-scoped chunk pool (see arena.Recycler): growth draws from it
+	// and dropping the index parks the chunks there for the next one.
+	Recycler *arena.Recycler
 }
 
 // NewIndex creates the index structure QPPT would pick for the given
@@ -97,14 +95,7 @@ func NewIndex(cfg IndexConfig) Index {
 			PayloadWidth: cfg.PayloadWidth,
 			Fold:         cfg.Fold,
 			Compress:     cfg.CompressKISS,
-		})}
-	}
-	if cfg.PointerLayout {
-		return ptrIndex{ptrtree.MustNew(ptrtree.Config{
-			PrefixLen:    cfg.PrefixLen,
-			KeyBits:      cfg.KeyBits,
-			PayloadWidth: cfg.PayloadWidth,
-			Fold:         cfg.Fold,
+			Recycler:     cfg.Recycler,
 		})}
 	}
 	return ptIndex{prefixtree.MustNew(prefixtree.Config{
@@ -112,6 +103,7 @@ func NewIndex(cfg IndexConfig) Index {
 		KeyBits:      cfg.KeyBits,
 		PayloadWidth: cfg.PayloadWidth,
 		Fold:         cfg.Fold,
+		Recycler:     cfg.Recycler,
 	})}
 }
 
@@ -151,45 +143,6 @@ func (p ptIndex) Iterate(visit func(key uint64, vals *duplist.List) bool) bool {
 
 func (p ptIndex) Range(lo, hi uint64, visit func(key uint64, vals *duplist.List) bool) bool {
 	return p.t.Range(lo, hi, func(lf *prefixtree.Leaf) bool { return visit(lf.Key, &lf.Vals) })
-}
-
-// ptrIndex adapts *ptrtree.Tree (the pointer-based baseline layout) to
-// Index; it exists for the layout ablation and differential tests.
-type ptrIndex struct{ t *ptrtree.Tree }
-
-func (p ptrIndex) Insert(key uint64, row []uint64)            { p.t.Insert(key, row) }
-func (p ptrIndex) InsertBatch(keys []uint64, rows [][]uint64) { p.t.InsertBatch(keys, rows) }
-func (p ptrIndex) Keys() int                                  { return p.t.Keys() }
-func (p ptrIndex) Rows() int                                  { return p.t.Rows() }
-func (p ptrIndex) PayloadWidth() int                          { return p.t.PayloadWidth() }
-func (p ptrIndex) KeyBits() uint                              { return p.t.KeyBits() }
-func (p ptrIndex) Bytes() int                                 { return p.t.Bytes() }
-func (p ptrIndex) Min() (uint64, bool)                        { return p.t.Min() }
-func (p ptrIndex) Max() (uint64, bool)                        { return p.t.Max() }
-
-func (p ptrIndex) Lookup(key uint64) *duplist.List {
-	if lf := p.t.Lookup(key); lf != nil {
-		return &lf.Vals
-	}
-	return nil
-}
-
-func (p ptrIndex) LookupBatch(keys []uint64, visit func(i int, vals *duplist.List)) {
-	p.t.LookupBatch(keys, func(i int, lf *ptrtree.Leaf) {
-		if lf != nil {
-			visit(i, &lf.Vals)
-		} else {
-			visit(i, nil)
-		}
-	})
-}
-
-func (p ptrIndex) Iterate(visit func(key uint64, vals *duplist.List) bool) bool {
-	return p.t.Iterate(func(lf *ptrtree.Leaf) bool { return visit(lf.Key, &lf.Vals) })
-}
-
-func (p ptrIndex) Range(lo, hi uint64, visit func(key uint64, vals *duplist.List) bool) bool {
-	return p.t.Range(lo, hi, func(lf *ptrtree.Leaf) bool { return visit(lf.Key, &lf.Vals) })
 }
 
 // kissIndex adapts *kisstree.Tree to Index.
@@ -241,12 +194,6 @@ func SyncScan(a, b Index, visit func(key uint64, va, vb *duplist.List) bool) boo
 	case ptIndex:
 		if bi, ok := b.(ptIndex); ok && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
 			return prefixtree.SyncScan(ai.t, bi.t, func(la, lb *prefixtree.Leaf) bool {
-				return visit(la.Key, &la.Vals, &lb.Vals)
-			})
-		}
-	case ptrIndex:
-		if bi, ok := b.(ptrIndex); ok && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
-			return ptrtree.SyncScan(ai.t, bi.t, func(la, lb *ptrtree.Leaf) bool {
 				return visit(la.Key, &la.Vals, &lb.Vals)
 			})
 		}

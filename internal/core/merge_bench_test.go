@@ -32,7 +32,7 @@ func BenchmarkMergePartials(b *testing.B) {
 		rng := rand.New(rand.NewSource(101))
 		partials := make([]*IndexedTable, nPartials)
 		for p := range partials {
-			idx := newOutputIndex(spec, false)
+			idx := newOutputIndex(spec, nil)
 			keys := make([]uint64, rowsPerPartial)
 			rows := make([][]uint64, rowsPerPartial)
 			for i := range keys {
@@ -44,7 +44,7 @@ func BenchmarkMergePartials(b *testing.B) {
 		}
 		b.Run(cfg.name+"/serial", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mergePartials(spec, partials, false)
+				mergePartials(spec, partials, nil)
 			}
 		})
 		for _, workers := range []int{2, 4, 8} {

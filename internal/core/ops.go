@@ -18,6 +18,29 @@ type Operator interface {
 	run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error)
 }
 
+// inputRanger is implemented by operators whose execution only touches
+// part of an input's key space. The executor uses it to thaw a frozen
+// (spilled) input partially: only the chunks the declared range touches
+// come back from disk (spill.Handle.PinRange).
+type inputRanger interface {
+	// inputKeyRange reports the inclusive key interval the operator will
+	// query on input ordinal i; ok == false means the whole key space.
+	inputKeyRange(i int) (lo, hi uint64, ok bool)
+}
+
+// predEnvelope returns the inclusive hull of a selection predicate's
+// ranges; ok is false for a nil predicate (scan everything).
+func predEnvelope(pred KeyPred) (uint64, uint64, bool) {
+	if len(pred) == 0 {
+		return 0, 0, false
+	}
+	lo, hi := pred[0].Lo, pred[0].Hi
+	for _, r := range pred[1:] {
+		lo, hi = min(lo, r.Lo), max(hi, r.Hi)
+	}
+	return lo, hi, true
+}
+
 // Base is the leaf operator: it passes a base index into the plan. Base
 // indexes are either pure secondary indexes (payload = record identifier)
 // or partially clustered indexes that carry the join/selection/grouping
@@ -68,6 +91,15 @@ func (s *Selection) CtxOf(input *IndexedTable, attr string) int {
 	return mustResolve(newCtxLayout(input), Ref{Input: 0, Attr: attr})
 }
 
+// inputKeyRange implements inputRanger: the scan only touches the
+// predicate's key ranges, so a spilled input thaws just their envelope.
+func (s *Selection) inputKeyRange(i int) (uint64, uint64, bool) {
+	if i != 0 {
+		return 0, 0, false
+	}
+	return predEnvelope(s.Pred)
+}
+
 func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
 	in := inputs[0]
 	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
@@ -86,7 +118,16 @@ func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable,
 		}
 		feedScan(p, in, pred)
 	}
-	bounds := func() (uint64, uint64, bool) { return idxBounds(in.Idx) }
+	bounds := func() (uint64, uint64, bool) {
+		// With a predicate, morsels partition its envelope instead of the
+		// data bounds: the scan clips every morsel to the predicate
+		// anyway, and a partially thawed input must not be asked for
+		// Min/Max (its skipped leaves read as empty key-0 leaves).
+		if lo, hi, ok := predEnvelope(s.Pred); ok {
+			return lo, hi, true
+		}
+		return idxBounds(in.Idx)
+	}
 	return runMorsels(ec, &s.Out, bounds, newPart, scan)
 }
 
@@ -270,6 +311,15 @@ func (sj *SelectJoin) Children() []Operator {
 	return ops
 }
 
+// inputKeyRange implements inputRanger for the selection input; the main
+// and assisting indexes are probed on arbitrary keys and need full pins.
+func (sj *SelectJoin) inputKeyRange(i int) (uint64, uint64, bool) {
+	if i != 0 {
+		return 0, 0, false
+	}
+	return predEnvelope(sj.Pred)
+}
+
 func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
 	sel := inputs[0]
 	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
@@ -302,7 +352,15 @@ func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTabl
 		}
 		feedScan(p, sel, pred)
 	}
-	bounds := func() (uint64, uint64, bool) { return idxBounds(sel.Idx) }
+	bounds := func() (uint64, uint64, bool) {
+		// See Selection.run: the predicate envelope stands in for the
+		// data bounds so a partially thawed selection input is never
+		// asked for Min/Max.
+		if lo, hi, ok := predEnvelope(sj.Pred); ok {
+			return lo, hi, true
+		}
+		return idxBounds(sel.Idx)
+	}
 	return runMorsels(ec, &sj.Out, bounds, newPart, scan)
 }
 

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
-	"qppt/internal/prefixtree/ptrtree"
 )
 
 // Intra-operator parallelism (paper Section 7).
@@ -89,12 +89,6 @@ func syncScanKeyRange(a, b Index, lo, hi uint64, visit func(key uint64, va, vb *
 	case ptIndex:
 		if bi, isPT := b.(ptIndex); isPT && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
 			return prefixtree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *prefixtree.Leaf) bool {
-				return visit(la.Key, &la.Vals, &lb.Vals)
-			})
-		}
-	case ptrIndex:
-		if bi, isPtr := b.(ptrIndex); isPtr && ai.t.PrefixLen() == bi.t.PrefixLen() && ai.t.KeyBits() == bi.t.KeyBits() {
-			return ptrtree.SyncScanRange(ai.t, bi.t, lo, hi, func(la, lb *ptrtree.Leaf) bool {
 				return visit(la.Key, &la.Vals, &lb.Vals)
 			})
 		}
@@ -234,7 +228,18 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 		// the complete output.
 		return partials[0], nil
 	}
-	return mergePartialsParallel(ec, spec, partials), nil
+	out := mergePartialsParallel(ec, spec, partials)
+	// The per-worker partials are dead the moment the merge re-inserted
+	// their rows (the output owns copies); with a plan recycler their
+	// chunks immediately feed the next allocations instead of the GC.
+	if ec.rec != nil {
+		for _, p := range partials {
+			if rc, ok := p.Idx.(chunkRecycler); ok {
+				rc.Recycle()
+			}
+		}
+	}
+	return out, nil
 }
 
 // mergeRangeInto folds the [lo, hi] slice of every partial into idx, in
@@ -281,9 +286,8 @@ func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, h
 }
 
 // newOutputIndex creates the output index structure an OutputSpec asks
-// for; pointerLayout selects the retained pointer-based prefix-tree
-// baseline (Options.PointerLayout).
-func newOutputIndex(spec *OutputSpec, pointerLayout bool) Index {
+// for, drawing chunk storage from the plan recycler when one is active.
+func newOutputIndex(spec *OutputSpec, rec *arena.Recycler) Index {
 	return NewIndex(IndexConfig{
 		KeyBits:         spec.Key.TotalBits(),
 		PayloadWidth:    len(spec.Cols),
@@ -291,15 +295,15 @@ func newOutputIndex(spec *OutputSpec, pointerLayout bool) Index {
 		ForcePrefixTree: spec.ForcePrefixTree,
 		CompressKISS:    spec.CompressKISS,
 		PrefixLen:       spec.PrefixLen,
-		PointerLayout:   pointerLayout,
+		Recycler:        rec,
 	})
 }
 
 // mergePartials is the sequential merge baseline: it folds per-worker
 // partial outputs into one final output index by re-insertion, scanning
 // the partials one after another over the full key space.
-func mergePartials(spec *OutputSpec, partials []*IndexedTable, pointerLayout bool) *IndexedTable {
-	idx := newOutputIndex(spec, pointerLayout)
+func mergePartials(spec *OutputSpec, partials []*IndexedTable, rec *arena.Recycler) *IndexedTable {
+	idx := newOutputIndex(spec, rec)
 	mergeRangeInto(idx, spec, partials, 0, keySpaceMax(spec.Key.TotalBits()))
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx)
 }
@@ -320,9 +324,8 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 	for _, p := range partials {
 		total += p.Idx.Rows()
 	}
-	ptr := ec.opts.PointerLayout
 	if !sched.parallel() || total < parallelMergeMinKeys {
-		return mergePartials(spec, partials, ptr)
+		return mergePartials(spec, partials, ec.rec)
 	}
 	var lo, hi uint64
 	any := false
@@ -341,7 +344,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		any = true
 	}
 	if !any {
-		return mergePartials(spec, partials, ptr)
+		return mergePartials(spec, partials, ec.rec)
 	}
 	// Two ranges per worker give the claiming loops room to balance ranges
 	// of uneven density without fragmenting the output into many shards.
@@ -356,13 +359,13 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		his = append(his, rHi)
 	}
 	if len(los) < 2 {
-		return mergePartials(spec, partials, ptr)
+		return mergePartials(spec, partials, ec.rec)
 	}
 	shards := make([]Index, len(los))
 	// ForEachWorker cannot fail here (the body returns nil), so the error
 	// is discarded.
 	_ = sched.ForEachWorker(len(shards), func(_, r int) error {
-		idx := newOutputIndex(spec, ptr)
+		idx := newOutputIndex(spec, ec.rec)
 		mergeRangeInto(idx, spec, partials, los[r], his[r])
 		shards[r] = idx
 		return nil

@@ -283,13 +283,13 @@ func TestMergePartialsParallelMatchesSerial(t *testing.T) {
 		}
 		var partials []*IndexedTable
 		for p := 0; p < 5; p++ {
-			idx := newOutputIndex(spec, false)
+			idx := newOutputIndex(spec, nil)
 			for i := 0; i < 9000; i++ {
 				idx.Insert(uint64(rng.Intn(1<<22)), []uint64{uint64(rng.Intn(10))})
 			}
 			partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 		}
-		serial := mergePartials(spec, partials, false)
+		serial := mergePartials(spec, partials, nil)
 		ec := &ExecContext{opts: Options{Workers: 4}}
 		par := mergePartialsParallel(ec, spec, partials)
 		if _, sharded := par.Idx.(*shardedIndex); !sharded {
@@ -341,13 +341,13 @@ func TestShardedIndexSemantics(t *testing.T) {
 	spec := &OutputSpec{Name: "s", Key: SimpleKey("k", 32), Cols: []string{"v"}}
 	var partials []*IndexedTable
 	for p := 0; p < 3; p++ {
-		idx := newOutputIndex(spec, false)
+		idx := newOutputIndex(spec, nil)
 		for i := 0; i < 6000; i++ {
 			idx.Insert(uint64(rng.Intn(1<<30)), []uint64{uint64(i)})
 		}
 		partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 	}
-	plain := mergePartials(spec, partials, false)
+	plain := mergePartials(spec, partials, nil)
 	ec := &ExecContext{opts: Options{Workers: 3}}
 	sharded := mergePartialsParallel(ec, spec, partials)
 	sh, ok := sharded.Idx.(*shardedIndex)

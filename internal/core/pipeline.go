@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 	"qppt/internal/key"
 )
@@ -128,7 +129,7 @@ type compiledExpr struct {
 // by ExecContext.noteSink.
 type pipeline struct {
 	layout   ctxLayout
-	ptr      bool // build the output index in the pointer baseline layout
+	rec      *arena.Recycler // plan chunk pool for the output index
 	residual func(ctx []uint64) bool
 	// filters[i], if set, drops combinations entering stage i
 	// (i == len(stages) filters combinations entering the sink). This is
@@ -158,7 +159,7 @@ func newPipeline(ec *ExecContext, layout ctxLayout) *pipeline {
 	if bufSize < 1 {
 		bufSize = 1
 	}
-	return &pipeline{layout: layout, bufSize: bufSize, ptr: ec.opts.PointerLayout}
+	return &pipeline{layout: layout, bufSize: bufSize, rec: ec.rec}
 }
 
 // addProbe appends a probe stage for assisting input `input`, probing with
@@ -200,7 +201,7 @@ func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
 		}
 		s.exprs = append(s.exprs, compiledExpr{off: off})
 	}
-	s.out = newOutputIndex(spec, p.ptr)
+	s.out = newOutputIndex(spec, p.rec)
 	p.snk = s
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, s.out), nil
 }

@@ -53,7 +53,7 @@ func TestShardedIndexFreezeThaw(t *testing.T) {
 	spec := &OutputSpec{Name: "s", Key: SimpleKey("k", 32), Cols: []string{"v"}}
 	var partials []*IndexedTable
 	for p := 0; p < 3; p++ {
-		idx := newOutputIndex(spec, false)
+		idx := newOutputIndex(spec, nil)
 		for i := 0; i < 6000; i++ {
 			idx.Insert(uint64(i*7+p), []uint64{uint64(i)})
 		}
@@ -65,7 +65,7 @@ func TestShardedIndexFreezeThaw(t *testing.T) {
 	if !ok {
 		t.Fatal("parallel merge did not shard")
 	}
-	plain := mergePartials(spec, partials, false)
+	plain := mergePartials(spec, partials, nil)
 
 	fz := freezerOf(merged.Idx)
 	if fz == nil {
@@ -123,34 +123,47 @@ func TestMemBudgetSpillsAndMatches(t *testing.T) {
 	}
 }
 
-// The pointer-baseline layout cannot detach its storage; a budgeted run
-// must simply keep it resident (no spills) and still be correct.
-func TestMemBudgetPointerLayoutStaysResident(t *testing.T) {
-	f := buildFixture(4)
-	mkPlan := func() *Plan {
-		return &Plan{Root: &Selection{
-			Input: &Base{Table: f.prodByBrand},
-			Pred:  Between(0, 10),
-			Out: OutputSpec{
-				Name:            "σ_products",
-				Key:             SimpleKey("prodkey", 16),
-				KeyRefs:         []Ref{{Input: 0, Attr: "prodkey"}},
-				ForcePrefixTree: true, // with PointerLayout: an unspillable ptrtree output
-			},
-		}}
+// A multi-shard restore that fails midway must roll every shard back to
+// frozen, so a later thaw from the intact snapshot still succeeds — and
+// must never leave a mix of resident and frozen shards behind.
+func TestShardedThawRollsBackOnError(t *testing.T) {
+	spec := &OutputSpec{Name: "s", Key: SimpleKey("k", 32), Cols: []string{"v"}}
+	var partials []*IndexedTable
+	for p := 0; p < 3; p++ {
+		idx := newOutputIndex(spec, nil)
+		for i := 0; i < 6000; i++ {
+			idx.Insert(uint64(i*7+p), []uint64{uint64(i)})
+		}
+		partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 	}
-	want, _, err := mkPlan().Run(Options{PointerLayout: true})
-	if err != nil {
+	ec := &ExecContext{opts: Options{Workers: 3}}
+	merged := mergePartialsParallel(ec, spec, partials)
+	sh, ok := merged.Idx.(*shardedIndex)
+	if !ok {
+		t.Fatal("parallel merge did not shard")
+	}
+	want := mergePartials(spec, partials, nil)
+
+	var buf bytes.Buffer
+	if err := sh.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	out, stats, err := mkPlan().Run(Options{MemBudget: 1, PointerLayout: true, CollectStats: true})
-	if err != nil {
-		t.Fatal(err)
+	sh.Release()
+	snapshot := buf.Bytes()
+
+	// A truncated stream fails partway through the shard sequence…
+	if err := sh.Thaw(bytes.NewReader(snapshot[:len(snapshot)*2/3])); err == nil {
+		t.Fatal("truncated thaw did not fail")
 	}
-	if !reflect.DeepEqual(Extract(out).Rows, Extract(want).Rows) {
-		t.Fatal("pointer-layout budgeted result differs")
+	// …and the rollback must leave every shard frozen again,
+	for _, shard := range sh.shards {
+		if !shard.(frozenIndex).Frozen() {
+			t.Fatal("shard left resident after failed multi-shard thaw")
+		}
 	}
-	if stats.Spills != 0 || stats.Restores != 0 {
-		t.Fatalf("unspillable pointer-layout index recorded spill traffic: %+v", stats)
+	// …so a retry from the intact snapshot fully recovers.
+	if err := sh.Thaw(bytes.NewReader(snapshot)); err != nil {
+		t.Fatalf("retry thaw after rollback: %v", err)
 	}
+	assertSameTable(t, want, merged)
 }

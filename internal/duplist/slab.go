@@ -30,6 +30,7 @@ type Slab struct {
 	cur    []uint64             // current block
 	off    int                  // words used in cur
 	segs   arena.Arena[segment] // segment headers, chunked like the data
+	rec    *arena.Recycler      // optional plan-scoped block pool
 }
 
 const (
@@ -41,8 +42,23 @@ const (
 )
 
 // NewSlab returns an empty slab.
-func NewSlab() *Slab {
-	return &Slab{segs: arena.Make[segment](slabSegChunkBits)}
+func NewSlab() *Slab { return NewSlabIn(nil) }
+
+// NewSlabIn returns an empty slab drawing its blocks (and segment-header
+// chunks) from a plan-scoped recycler; Release parks them there again when
+// the owning index is dropped. A nil recycler is plain NewSlab.
+func NewSlabIn(rec *arena.Recycler) *Slab {
+	s := &Slab{segs: arena.Make[segment](slabSegChunkBits), rec: rec}
+	s.segs.SetRecycler(rec)
+	return s
+}
+
+// newBlock returns a zeroed full-size slab block, recycled when possible.
+func (s *Slab) newBlock() []uint64 {
+	if b, ok := arena.GetChunk[uint64](s.rec, slabBlockWords); ok {
+		return b[:slabBlockWords]
+	}
+	return make([]uint64, slabBlockWords)
 }
 
 // alloc carves n words off the current block, starting a fresh block when
@@ -55,13 +71,30 @@ func (s *Slab) alloc(n int) []uint64 {
 		return b
 	}
 	if len(s.cur)-s.off < n {
-		s.cur = make([]uint64, slabBlockWords)
+		s.cur = s.newBlock()
 		s.off = 0
 		s.blocks = append(s.blocks, s.cur)
 	}
 	d := s.cur[s.off : s.off+n : s.off+n]
 	s.off += n
 	return d
+}
+
+// Release returns the slab's storage — full-size blocks and the
+// segment-header chunks — to the recycler it was created with, leaving the
+// slab empty. The caller must guarantee nothing references segment memory
+// anymore: Release is meant for the moment the owning index is dropped or
+// frozen. Without a recycler it merely drops the references for the
+// garbage collector. Oversized blocks (wider than a row of slabBlockWords)
+// are never pooled.
+func (s *Slab) Release() {
+	for _, b := range s.blocks {
+		if cap(b) == slabBlockWords {
+			arena.PutChunk(s.rec, b)
+		}
+	}
+	s.blocks, s.cur, s.off = nil, nil, 0
+	s.segs.Reset()
 }
 
 // newSegment returns a segment header backed by slab memory.

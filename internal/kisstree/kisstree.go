@@ -63,6 +63,11 @@ type Config struct {
 	// memory for sparse key ranges at the price of an RCU-style copy on
 	// every new-key insert.
 	Compress bool
+	// Recycler, if non-nil, routes the tree's chunk storage — root pages,
+	// node chunks, leaf chunks and slab blocks — through a plan-scoped
+	// chunk pool (see package arena): growth draws from it, and
+	// Release/Recycle park the chunks there for the next index.
+	Recycler *arena.Recycler
 }
 
 // A Tree is a KISS-Tree mapping 32-bit keys to lists of fixed-width payload
@@ -91,6 +96,14 @@ type Tree struct {
 	// frozen marks a tree whose chunk storage is spilled (see spill.go);
 	// counters and bounds stay valid, everything else is on disk.
 	frozen bool
+	// partial marks a tree whose leaf payloads were only partially
+	// restored by ThawRange; thawedChunks records which leaf chunks are
+	// back. Only keys inside the thawed ranges may be queried.
+	partial      bool
+	thawedChunks []bool
+	// rootMapped marks root page chunks that alias an mmap-ed spill file
+	// (ThawMapped); they must not be recycled, only dropped or copied.
+	rootMapped bool
 }
 
 // cnode is a bitmask-compressed second-level node: a 64-bit occupancy
@@ -116,14 +129,17 @@ func New(cfg Config) (*Tree, error) {
 	if cfg.PayloadWidth < 0 {
 		return nil, fmt.Errorf("kisstree: negative PayloadWidth")
 	}
-	return &Tree{
+	t := &Tree{
 		cfg:    cfg,
 		root:   make([][]uint32, rootChunks),
 		nodes:  arena.MakeSlots(nodeSlots),
 		leaves: arena.Make[Leaf](leafChunkBits),
-		slab:   duplist.NewSlab(),
+		slab:   duplist.NewSlabIn(cfg.Recycler),
 		minKey: ^uint32(0),
-	}, nil
+	}
+	t.nodes.SetRecycler(cfg.Recycler)
+	t.leaves.SetRecycler(cfg.Recycler)
+	return t, nil
 }
 
 // MustNew is New that panics on error.
@@ -173,10 +189,20 @@ func (t *Tree) rootGet(idx uint32) uint32 {
 func (t *Tree) rootSet(idx, v uint32) {
 	c := t.root[idx>>rootChunkBits]
 	if c == nil {
-		c = make([]uint32, 1<<rootChunkBits)
+		c = t.newRootChunk()
 		t.root[idx>>rootChunkBits] = c
 	}
 	c[idx&rootChunkMask] = v
+}
+
+// newRootChunk returns a zeroed root page chunk, recycled when the plan
+// pool has one (root pages share the 256 KiB uint32 size class with the
+// node-slot chunks of both tree kinds).
+func (t *Tree) newRootChunk() []uint32 {
+	if c, ok := arena.GetChunk[uint32](t.cfg.Recycler, 1<<rootChunkBits); ok {
+		return c[:1<<rootChunkBits]
+	}
+	return make([]uint32, 1<<rootChunkBits)
 }
 
 // Insert adds a payload row under key (which must fit in 32 bits). With a

@@ -58,6 +58,11 @@ type Config struct {
 	// stored one instead of appending a duplicate (grouping/aggregation
 	// as a side effect of index construction, paper Section 3).
 	Fold func(dst, src []uint64)
+	// Recycler, if non-nil, routes the tree's chunk storage — node
+	// chunks, leaf chunks and slab blocks — through a plan-scoped chunk
+	// pool: growth draws from it, and Release/Recycle park the chunks
+	// there for the next index instead of handing them to the GC.
+	Recycler *arena.Recycler
 }
 
 func (c *Config) normalize() error {
@@ -112,6 +117,12 @@ type Tree struct {
 	// frozen marks a tree whose chunk storage is spilled (see spill.go);
 	// counters and geometry stay valid, everything else is on disk.
 	frozen bool
+	// partial marks a tree whose leaf payloads were only partially
+	// restored by ThawRange; thawedChunks records which leaf chunks are
+	// back. Only keys inside the union of the thawed ranges may be
+	// queried — leaves of skipped chunks read as empty zero leaves.
+	partial      bool
+	thawedChunks []bool
 }
 
 // A Leaf is a content node: the full key (required because dynamic
@@ -135,8 +146,10 @@ func New(cfg Config) (*Tree, error) {
 		levels: int((cfg.KeyBits + cfg.PrefixLen - 1) / cfg.PrefixLen),
 		nodes:  arena.MakeSlots(1 << cfg.PrefixLen),
 		leaves: arena.Make[Leaf](leafChunkBits),
-		slab:   duplist.NewSlab(),
+		slab:   duplist.NewSlabIn(cfg.Recycler),
 	}
+	t.nodes.SetRecycler(cfg.Recycler)
+	t.leaves.SetRecycler(cfg.Recycler)
 	t.nodes.Alloc() // the root, ordinal 0
 	return t, nil
 }

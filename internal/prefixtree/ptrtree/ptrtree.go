@@ -1,13 +1,14 @@
 // Package ptrtree is the pointer-based generalized prefix tree — the
-// pre-arena layout of package prefixtree, retained verbatim as the
-// baseline for the layout ablation benchmarks and for differential tests
-// (every node slot is a 16-byte {child, leaf} pointer pair and every node,
-// leaf and duplicate segment is an individual GC allocation).
+// pre-arena layout of package prefixtree, retained verbatim (every node
+// slot is a 16-byte {child, leaf} pointer pair and every node, leaf and
+// duplicate segment is an individual GC allocation).
 //
-// New code should use package prefixtree, whose arena-backed
-// compact-pointer layout stores four slots per 16 bytes and allocates per
-// chunk instead of per object. This package exists so the "before" side of
-// that comparison keeps compiling and measuring.
+// TEST-ONLY: since the pointer-baseline retirement (ROADMAP), no
+// production code imports this package. It exists solely for the
+// differential tests and layout benchmarks in package prefixtree, which
+// pit the arena-backed compact-pointer layout against this baseline; the
+// engine (package core) always builds arena-backed indexes. Keep it free
+// of non-test importers.
 //
 // The tree is order-preserving and — unlike a B+-Tree — unbalanced: it
 // splits the big-endian binary representation of a key into fragments of an

@@ -1,0 +1,72 @@
+//go:build unix
+
+package prefixtree
+
+import (
+	"syscall"
+	"testing"
+
+	"qppt/internal/arena"
+)
+
+// ThawMapped must reproduce the index from a private mapping with the
+// node chunks adopted (not copied), and the tree must stay fully usable —
+// including Free-path writes, which hit the mapping's copy-on-write pages
+// — and survive Materialize.
+func TestThawMappedAdoptsNodeChunks(t *testing.T) {
+	const n = 30000
+	tr := MustNew(Config{PrefixLen: 4, KeyBits: 32, PayloadWidth: 1})
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i)*7, []uint64{uint64(i)})
+	}
+	f := freezeToFile(t, tr)
+	defer f.Close()
+	fi, _ := f.Stat()
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		t.Skipf("mmap unavailable: %v", err)
+	}
+	unmapped := false
+	defer func() {
+		if !unmapped {
+			syscall.Munmap(data)
+		}
+	}()
+	mr := arena.NewMapReader(data)
+	if err := tr.ThawMapped(mr); err != nil {
+		t.Fatalf("ThawMapped: %v", err)
+	}
+	if !tr.nodes.Mapped() {
+		t.Fatal("no node chunks adopted from the mapping")
+	}
+	if mr.Copied() >= fi.Size() {
+		t.Fatal("mmap thaw copied the whole file")
+	}
+	for i := 0; i < n; i += 97 {
+		lf := tr.Lookup(uint64(i) * 7)
+		if lf == nil || lf.Vals.First()[0] != uint64(i) {
+			t.Fatalf("key %d wrong after mmap thaw", i*7)
+		}
+	}
+	// Mutations write into the private mapping (page-level copy-on-write)
+	// and must work.
+	if !tr.Delete(7) {
+		t.Fatal("delete on mapped tree failed")
+	}
+	tr.Insert(7, []uint64{123})
+	// Materialize detaches from the mapping; queries keep working after
+	// the pages go away.
+	tr.Materialize()
+	if tr.nodes.Mapped() {
+		t.Fatal("Materialize left mapped chunks")
+	}
+	syscall.Munmap(data)
+	unmapped = true
+	if lf := tr.Lookup(7); lf == nil || lf.Vals.First()[0] != 123 {
+		t.Fatal("materialized tree lost data")
+	}
+	if tr.Keys() != n {
+		t.Fatalf("Keys = %d, want %d", tr.Keys(), n)
+	}
+}

@@ -6,31 +6,38 @@ import (
 	"strings"
 )
 
-// ParseBytes parses a human byte-size string for the -membudget flags:
-// a plain number is bytes, and the suffixes K/M/G/T (optionally followed
-// by "B" or "iB", case-insensitive) scale by powers of 1024. Examples:
-// "268435456", "256MiB", "256mb", "1.5G".
+// ParseBytes parses a human byte-size string for the -membudget flags: a
+// plain number is bytes, and the suffixes K/M/G/T — optionally followed by
+// "B" or "iB", in any case, with optional whitespace before the suffix —
+// scale by powers of 1024. Examples: "268435456", "256MiB", "64mb",
+// "64 MiB", "1.5G". Negative sizes are rejected with a dedicated error.
 func ParseBytes(s string) (int64, error) {
 	t := strings.TrimSpace(strings.ToLower(s))
 	if t == "" {
 		return 0, fmt.Errorf("spill: empty byte size")
 	}
 	shift := uint(0)
-	for sfx, sh := range map[string]uint{"k": 10, "m": 20, "g": 30, "t": 40} {
-		for _, unit := range []string{sfx + "ib", sfx + "b", sfx} {
-			if strings.HasSuffix(t, unit) {
-				t, shift = strings.TrimSuffix(t, unit), sh
-				break
-			}
-		}
-		if shift != 0 {
+	for _, unit := range []struct {
+		sfx string
+		sh  uint
+	}{
+		// Longest suffixes first so "mib" is never read as "b" after "mi".
+		{"kib", 10}, {"mib", 20}, {"gib", 30}, {"tib", 40},
+		{"kb", 10}, {"mb", 20}, {"gb", 30}, {"tb", 40},
+		{"k", 10}, {"m", 20}, {"g", 30}, {"t", 40},
+	} {
+		if strings.HasSuffix(t, unit.sfx) {
+			t, shift = strings.TrimSuffix(t, unit.sfx), unit.sh
 			break
 		}
 	}
-	t = strings.TrimSpace(strings.TrimSuffix(t, " "))
+	t = strings.TrimSpace(t) // allow "64 MiB"
 	v, err := strconv.ParseFloat(t, 64)
-	if err != nil || v < 0 {
+	if err != nil {
 		return 0, fmt.Errorf("spill: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("spill: negative byte size %q", s)
 	}
 	return int64(v * float64(int64(1)<<shift)), nil
 }

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package spill
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported is false on platforms without a wired mmap; Manager falls
+// back to the plain copying restore path.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("spill: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package spill
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy thaw path; on non-unix builds the
+// manager silently falls back to the plain copying restore.
+const mmapSupported = true
+
+// mmapFile maps the whole file privately. PROT_WRITE + MAP_PRIVATE gives
+// copy-on-write semantics: adopted arena chunks may be written in place
+// (block recycling zeroes, in-place updates) and the kernel copies the
+// touched pages instead of dirtying the spill file.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -16,8 +16,28 @@
 // operator reads it. Eviction is best-effort — when everything live is
 // pinned, the plan runs over budget rather than deadlocking.
 //
-// Freeze/Thaw I/O runs under the manager lock, serializing spill traffic
-// into the sequential-pass pattern the chunk layout is designed for.
+// Freeze/Thaw I/O runs *outside* the manager lock: each entry carries its
+// own freezing/thawing state, and pins on an entry mid-transition wait on
+// a condition variable while other entries keep pinning, unpinning, and
+// spilling concurrently. Each entry's I/O itself stays one sequential
+// pass — the pattern the chunk layout is designed for.
+//
+// Three restore paths exist:
+//
+//   - the plain copying thaw (always available);
+//   - a zero-copy mmap thaw (Config.Mmap): the spill file is mapped
+//     privately and structures that implement MappedThawer adopt the
+//     mapped pages as their arena chunks, so the tree interior is never
+//     copied and untouched pages fault in lazily. Unsupported platforms
+//     and structures fall back to the copying path;
+//   - a partial thaw (Handle.PinRange): structures that implement
+//     RangeThawer restore only the leaf chunks a consumer's key range
+//     touches, using the per-chunk directory their freeze format records.
+//
+// Registered structures are read-only after registration (operators build
+// an index once, then only scan and probe it); the manager exploits that
+// by keeping spill files valid across thaws — re-evicting a clean entry
+// releases its storage without rewriting a byte.
 package spill
 
 import (
@@ -27,6 +47,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"qppt/internal/arena"
 )
 
 // A Freezer can snapshot its storage into a byte stream, detach it, and
@@ -43,10 +65,33 @@ type Freezer interface {
 	// storage attached and the structure fully usable.
 	WriteSnapshot(w io.Writer) error
 	// Release detaches the storage a successful WriteSnapshot captured;
-	// the structure must not be used again until Thaw.
+	// the structure must not be used again until thawed.
 	Release()
 	// Thaw restores storage previously written by WriteSnapshot.
 	Thaw(r io.Reader) error
+}
+
+// A MappedThawer can additionally restore itself zero-copy from an
+// mmap-ed snapshot, adopting the mapped pages as its chunk storage.
+type MappedThawer interface {
+	Freezer
+	ThawMapped(r *arena.MapReader) error
+}
+
+// A Materializer can copy any mmap-adopted storage back to the heap, so
+// it survives the unmapping of its spill file (the manager materializes
+// still-pinned mapped entries at Close — e.g. the plan's result index).
+type Materializer interface {
+	Materialize()
+}
+
+// A RangeThawer can restore just enough state to serve queries inside a
+// key range, reading only the chunks that range touches. Calls are
+// additive; a call spanning the full key space completes the restore
+// (full == true).
+type RangeThawer interface {
+	Freezer
+	ThawRange(f io.ReadSeeker, lo, hi uint64) (bytesRead int64, full bool, err error)
 }
 
 // Stats aggregates the manager's activity for plan statistics.
@@ -54,32 +99,61 @@ type Stats struct {
 	// Spills counts freeze events; SpillBytes the bytes they released.
 	Spills     int
 	SpillBytes int64
-	// Restores counts thaw events; RestoreBytes the bytes brought back.
+	// Restores counts frozen→resident thaw events; RestoreBytes the
+	// resident bytes they brought back.
 	Restores     int
 	RestoreBytes int64
+	// RestoreBytesRead counts the spill-file bytes actually *copied*
+	// during restores: the whole file on a plain thaw, only the rebuilt
+	// leaf sections on an mmap thaw (adopted pages fault lazily), and
+	// only the selected chunks on a partial thaw.
+	RestoreBytesRead int64
+	// MmapRestores counts zero-copy (mmap-adopting) thaws;
+	// PartialRestores counts range-restricted thaw passes, including
+	// top-ups of an already partially resident entry.
+	MmapRestores    int
+	PartialRestores int
 	// Resident is the current tracked residency, Peak its high-water mark.
 	Resident int64
 	Peak     int64
 }
 
+// Config parameterizes a Manager.
+type Config struct {
+	// Budget caps the tracked resident bytes; <= 0 disables eviction (the
+	// manager still tracks residency and serves explicit freezes).
+	Budget int64
+	// Dir is where spill files go; empty creates a private temp directory
+	// that Close removes.
+	Dir string
+	// Mmap selects the zero-copy restore path for structures that support
+	// it; ignored (with a copying fallback) where mmap is unavailable.
+	Mmap bool
+}
+
 // A Manager owns the spill state of one plan execution.
 type Manager struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast whenever an entry leaves a transition state
 	dir    string
 	ownDir bool // dir was created by New and is removed by Close
 	budget int64
+	mmap   bool
 	clock  uint64
 	nextID int
 	all    []*Handle
 	stats  Stats
 }
 
-// New creates a manager enforcing the given byte budget. dir is where
-// spill files go; an empty dir creates a private temp directory that
-// Close removes. budget <= 0 disables eviction (the manager still tracks
-// residency and serves explicit Freeze calls).
+// New creates a manager enforcing the given byte budget, with spill files
+// in dir (empty = private temp directory). Shorthand for NewConfig.
 func New(budget int64, dir string) (*Manager, error) {
-	ownDir := false
+	return NewConfig(Config{Budget: budget, Dir: dir})
+}
+
+// NewConfig creates a manager from a full configuration.
+func NewConfig(cfg Config) (*Manager, error) {
+	dir, ownDir := cfg.Dir, false
 	if dir == "" {
 		d, err := os.MkdirTemp("", "qppt-spill-*")
 		if err != nil {
@@ -89,37 +163,113 @@ func New(budget int64, dir string) (*Manager, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("spill: %w", err)
 	}
-	return &Manager{dir: dir, ownDir: ownDir, budget: budget}, nil
+	m := &Manager{dir: dir, ownDir: ownDir, budget: cfg.Budget, mmap: cfg.Mmap && mmapSupported}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
 }
 
 // Budget reports the configured byte budget.
 func (m *Manager) Budget() int64 { return m.budget }
 
+// entry states; transitions (freezing, thawing) exclude pins and eviction
+// of that entry while other entries proceed.
+type entryState int
+
+const (
+	stResident entryState = iota
+	stFreezing
+	stThawing
+	stFrozen
+)
+
 // A Handle tracks one registered structure.
 type Handle struct {
-	m      *Manager
-	obj    Freezer
-	size   func() int // resident bytes when live
-	label  string
-	file   string
-	bytes  int64 // last observed resident size
-	pins   int
-	frozen bool
-	failed bool // freeze failed once; never retried, stays resident
+	m         *Manager
+	obj       Freezer
+	size      func() int // resident bytes when live
+	label     string
+	file      string
+	seq       int   // registration order; pin-ordering key for callers
+	bytes     int64 // tracked resident size
+	pins      int
+	state     entryState
+	partial   bool // resident, but only partially thawed (RangeThawer)
+	failed    bool // freeze failed once; never retried, stays resident
+	dropped   bool // executor dropped the intermediate; file gone
+	fileValid bool // spill file holds a complete snapshot
+	mapping   []byte
+	// cov are the key intervals a partial entry is guaranteed to serve
+	// (each interval was one ThawRange argument; overlapping/adjacent
+	// intervals merged). Empty when fully resident or frozen.
+	cov []keyIval
 
 	lastUse          uint64
 	spills, restores int
+}
+
+// keyIval is one inclusive thawed key interval.
+type keyIval struct{ lo, hi uint64 }
+
+// Seq reports the handle's registration ordinal. Callers that pin several
+// handles while other pins are outstanding should acquire them in
+// ascending Seq order: an uncovered range top-up waits for the entry's
+// pins to drain, and ordered acquisition keeps those waits cycle-free.
+func (h *Handle) Seq() int { return h.seq }
+
+// covered reports whether [lo, hi] lies inside one thawed interval.
+func (h *Handle) covered(lo, hi uint64) bool {
+	for _, iv := range h.cov {
+		if iv.lo <= lo && hi <= iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// touches reports whether two inclusive intervals overlap or are
+// adjacent. Merging such intervals is exact for coverage: chunks were
+// restored for their union, which then is one gapless interval.
+func touches(a, b keyIval) bool {
+	if a.lo > b.hi { // b entirely below a (b.hi < ^0, so +1 is safe)
+		return b.hi+1 == a.lo
+	}
+	if b.lo > a.hi {
+		return a.hi+1 == b.lo
+	}
+	return true
+}
+
+// addCov records [lo, hi] as thawed, merging overlapping or adjacent
+// intervals.
+func (h *Handle) addCov(lo, hi uint64) {
+	merged := keyIval{lo, hi}
+	out := h.cov[:0]
+	for _, iv := range h.cov {
+		if touches(iv, merged) {
+			merged.lo = min(merged.lo, iv.lo)
+			merged.hi = max(merged.hi, iv.hi)
+			continue
+		}
+		out = append(out, iv)
+	}
+	h.cov = append(out, merged)
 }
 
 // Register adds a structure to the managed set and reclaims space
 // immediately if its residency pushes the plan over budget. size must
 // report the structure's current resident bytes; label names it in spill
 // file names (diagnostics only).
+//
+// A registered structure must not be mutated anymore: the manager keeps
+// its spill file valid across thaws, so a re-eviction can release the
+// storage without rewriting it. QPPT intermediates satisfy this by
+// construction — an operator output is built once, then only read.
 func (m *Manager) Register(label string, obj Freezer, size func() int) *Handle {
 	h := &Handle{m: m, obj: obj, size: size, label: label, bytes: int64(size())}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h.lastUse = m.tick()
+	h.seq = m.nextID
 	h.file = filepath.Join(m.dir, fmt.Sprintf("%03d-%s.spill", m.nextID, sanitize(label)))
 	m.nextID++
 	m.all = append(m.all, h)
@@ -128,17 +278,58 @@ func (m *Manager) Register(label string, obj Freezer, size func() int) *Handle {
 	return h
 }
 
-// Pin makes the handle's structure resident (thawing it if frozen) and
-// protects it from eviction until the matching Unpin. Pins nest.
-func (h *Handle) Pin() error {
+// Pin makes the handle's structure fully resident (thawing it if frozen
+// or partially thawed) and protects it from eviction until the matching
+// Unpin. Pins nest.
+func (h *Handle) Pin() error { return h.pin(0, ^uint64(0), false) }
+
+// PinRange is Pin for a consumer that will only query keys in [lo, hi]:
+// if the structure is frozen and supports range thawing, only the chunks
+// that range touches are restored. The pin protects the entry like Pin.
+//
+// Later PinRange/Pin calls *from other consumers* widen the resident
+// portion in place — a widening top-up waits for the current pins to
+// drain first. For that reason a caller must NOT try to widen an entry
+// while still holding its own pin on it (the wait would be for itself):
+// release the pin before re-pinning with a wider range, or take a full
+// Pin up front. Re-pinning within the already covered range is always
+// fine. Callers pinning several handles should acquire them in Seq order
+// (see Handle.Seq).
+func (h *Handle) PinRange(lo, hi uint64) error { return h.pin(lo, hi, true) }
+
+func (h *Handle) pin(lo, hi uint64, ranged bool) error {
 	m := h.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h.lastUse = m.tick()
-	if h.frozen {
-		if err := m.thawLocked(h); err != nil {
-			return err
+	for {
+		for h.state == stFreezing || h.state == stThawing {
+			m.cond.Wait()
 		}
+		if h.dropped {
+			return fmt.Errorf("spill: pin %s: intermediate was dropped", h.label)
+		}
+		if h.state == stFrozen {
+			if err := m.thawLocked(h, lo, hi, ranged); err != nil {
+				return err
+			}
+			break
+		}
+		if h.partial && !(ranged && h.covered(lo, hi)) {
+			// The entry needs a wider restore. Topping up writes leaf
+			// chunks in place, so it must not run while readers hold
+			// pins: wait for them to drain. Callers pinning several
+			// handles acquire them in Seq order, keeping this cycle-free.
+			if h.pins > 0 {
+				m.cond.Wait()
+				continue
+			}
+			if err := m.thawLocked(h, lo, hi, ranged); err != nil {
+				return err
+			}
+			break
+		}
+		break // fully resident, or partial with the range already covered
 	}
 	h.pins++
 	// The thaw may have pushed residency over budget; evict colder entries.
@@ -155,7 +346,43 @@ func (h *Handle) Unpin() {
 	if h.pins > 0 {
 		h.pins--
 	}
+	if h.pins == 0 {
+		m.cond.Broadcast() // a range top-up may be waiting for the drain
+	}
 	m.balanceLocked()
+}
+
+// Drop removes the entry from the managed set: its spill file is deleted
+// and any file mapping unmapped. The executor calls it when the last
+// consumer of an intermediate is done, *before* recycling the structure's
+// storage: Drop waits out any in-flight freeze/thaw and releases the
+// mapping, after which recycling only ever touches heap chunks (mapped
+// ones are skipped by the arenas). The handle's counters remain readable.
+func (h *Handle) Drop() {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for h.state == stFreezing || h.state == stThawing {
+		m.cond.Wait()
+	}
+	if h.dropped {
+		return
+	}
+	if h.state == stResident {
+		m.addResident(-h.bytes)
+	}
+	h.dropped = true
+	h.state = stFrozen // not resident; never thawable again (dropped)
+	h.partial = false
+	h.cov = nil
+	if h.mapping != nil {
+		munmapFile(h.mapping)
+		h.mapping = nil
+	}
+	if h.fileValid {
+		os.Remove(h.file)
+		h.fileValid = false
+	}
 }
 
 // Counts reports how often this handle's structure was spilled and
@@ -170,7 +397,15 @@ func (h *Handle) Counts() (spills, restores int) {
 func (h *Handle) Frozen() bool {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
-	return h.frozen
+	return h.state == stFrozen || h.state == stFreezing
+}
+
+// Partial reports whether the structure is resident only for part of its
+// key space (see PinRange).
+func (h *Handle) Partial() bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.partial
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -182,19 +417,34 @@ func (m *Manager) Stats() Stats {
 
 // Close deletes all spill state. Frozen entries become unusable; callers
 // must Pin (thaw) anything they still need — typically the plan's result
-// index — before closing.
+// index — before closing. Entries still backed by a file mapping are
+// materialized (their mapped chunks copied to the heap) before the
+// mapping is dropped, so a pinned result index stays valid after Close.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for _, h := range m.all {
+		for h.state == stFreezing || h.state == stThawing {
+			m.cond.Wait()
+		}
+		if h.mapping != nil {
+			if mz, ok := h.obj.(Materializer); ok && h.state == stResident {
+				mz.Materialize()
+			}
+			munmapFile(h.mapping)
+			h.mapping = nil
+		}
+	}
 	var firstErr error
 	if m.ownDir {
 		firstErr = os.RemoveAll(m.dir)
 	} else {
 		for _, h := range m.all {
-			if h.frozen {
+			if h.fileValid {
 				if err := os.Remove(h.file); err != nil && firstErr == nil {
 					firstErr = err
 				}
+				h.fileValid = false
 			}
 		}
 	}
@@ -217,7 +467,9 @@ func (m *Manager) addResident(delta int64) {
 
 // balanceLocked freezes least-recently-used unpinned entries until the
 // tracked residency fits the budget. Best-effort: with everything pinned
-// (or all freezes failing) the plan simply runs over budget.
+// (or all freezes failing) the plan simply runs over budget. The manager
+// lock is dropped around each victim's file I/O; concurrent balancers
+// skip entries already mid-transition.
 func (m *Manager) balanceLocked() {
 	if m.budget <= 0 {
 		return
@@ -225,7 +477,7 @@ func (m *Manager) balanceLocked() {
 	for m.stats.Resident > m.budget {
 		var victim *Handle
 		for _, h := range m.all {
-			if h.frozen || h.failed || h.pins > 0 {
+			if h.state != stResident || h.failed || h.dropped || h.pins > 0 {
 				continue
 			}
 			if victim == nil || h.lastUse < victim.lastUse {
@@ -235,67 +487,215 @@ func (m *Manager) balanceLocked() {
 		if victim == nil {
 			return
 		}
-		if err := m.freezeLocked(victim); err != nil {
-			victim.failed = true // e.g. disk full: keep resident, stop retrying
-		}
+		m.freezeLocked(victim)
 	}
 }
 
-// freezeLocked writes one entry to its spill file and, only once the file
-// is flushed and closed successfully, drops the entry's storage. On any
-// write error (e.g. disk full) the structure keeps its storage and stays
-// fully usable — a failed freeze must never lose index data.
-func (m *Manager) freezeLocked(h *Handle) error {
+// freezeLocked writes one entry to its spill file (unless the file is
+// still valid from an earlier freeze) and, only once the file is flushed
+// and closed successfully, drops the entry's storage. On any write error
+// (e.g. disk full) the structure keeps its storage and stays fully usable
+// — a failed freeze must never lose index data. The manager lock is
+// released around the file I/O; the entry's freezing state keeps pins and
+// concurrent balancers away from it meanwhile.
+func (m *Manager) freezeLocked(h *Handle) {
 	h.bytes = int64(h.size()) // refresh: the index grew after registration
-	f, err := os.Create(h.file)
+	h.state = stFreezing
+	var err error
+	if !h.fileValid {
+		m.mu.Unlock()
+		err = writeSnapshotFile(h.file, h.obj)
+		m.mu.Lock()
+	}
 	if err != nil {
-		return err
+		h.failed = true // e.g. disk full: keep resident, stop retrying
+		h.state = stResident
+		m.cond.Broadcast()
+		return
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := h.obj.WriteSnapshot(bw); err != nil {
-		f.Close()
-		os.Remove(h.file)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(h.file)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(h.file)
-		return err
-	}
+	h.fileValid = true
 	h.obj.Release()
-	h.frozen = true
+	if h.mapping != nil {
+		// Release dropped the last references into the mapped pages.
+		munmapFile(h.mapping)
+		h.mapping = nil
+	}
+	h.state = stFrozen
+	h.partial = false
+	h.cov = nil
 	h.spills++
 	m.stats.Spills++
 	m.stats.SpillBytes += h.bytes
 	m.addResident(-h.bytes)
+	m.cond.Broadcast()
+}
+
+// writeSnapshotFile writes one sequential snapshot of obj to path,
+// removing the file again on any error.
+func writeSnapshotFile(path string, obj Freezer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := obj.WriteSnapshot(bw); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
 	return nil
 }
 
-// thawLocked restores one entry from its spill file and deletes the file
-// (a later eviction rewrites it).
-func (m *Manager) thawLocked(h *Handle) error {
-	f, err := os.Open(h.file)
+// thawLocked restores one entry from its spill file — fully, zero-copy
+// via mmap, or partially for a range-restricted consumer — with the
+// manager lock released around the I/O. The spill file stays on disk and
+// valid, so a later re-eviction of the (read-only) structure is free.
+func (m *Manager) thawLocked(h *Handle, lo, hi uint64, ranged bool) error {
+	fromFrozen := h.state == stFrozen
+	wasBytes := h.bytes
+	if !fromFrozen {
+		// Partially resident: widening top-up via the range thaw path.
+		ranged = true
+	}
+	h.state = stThawing
+	m.mu.Unlock()
+
+	var (
+		err       error
+		bytesRead int64
+		full      = true
+		mapped    []byte
+		mmapped   bool
+	)
+	switch {
+	case ranged && asRangeThawer(h.obj) != nil:
+		rt := asRangeThawer(h.obj)
+		var f *os.File
+		if f, err = os.Open(h.file); err == nil {
+			bytesRead, full, err = rt.ThawRange(f, lo, hi)
+			f.Close()
+		}
+	case m.mmap && asMappedThawer(h.obj) != nil:
+		mt := asMappedThawer(h.obj)
+		mapped, err = mmapSnapshot(h.file)
+		if err == nil {
+			mr := arena.NewMapReader(mapped)
+			if err = mt.ThawMapped(mr); err == nil {
+				bytesRead = mr.Copied()
+				mmapped = true
+			} else {
+				munmapFile(mapped)
+				mapped = nil
+			}
+		}
+		if err != nil {
+			// Fall back to the copying path rather than failing the pin.
+			err = copyThaw(h.file, h.obj)
+			if err == nil {
+				if fi, serr := os.Stat(h.file); serr == nil {
+					bytesRead = fi.Size()
+				}
+			}
+		}
+	default:
+		err = copyThaw(h.file, h.obj)
+		if err == nil {
+			if fi, serr := os.Stat(h.file); serr == nil {
+				bytesRead = fi.Size()
+			}
+		}
+	}
+
+	m.mu.Lock()
 	if err != nil {
+		if fromFrozen {
+			h.state = stFrozen
+		} else {
+			h.state = stResident // top-up failed; previous portion intact
+		}
+		m.cond.Broadcast()
 		return fmt.Errorf("spill: restore %s: %w", h.label, err)
+	}
+	h.state = stResident
+	h.partial = !full
+	if full {
+		h.cov = nil
+	} else {
+		h.addCov(lo, hi)
+	}
+	h.mapping = mapped
+	h.bytes = int64(h.size())
+	m.stats.RestoreBytesRead += bytesRead
+	if mmapped {
+		m.stats.MmapRestores++
+	}
+	if !full || !fromFrozen {
+		m.stats.PartialRestores++
+	}
+	if fromFrozen {
+		h.restores++
+		m.stats.Restores++
+		m.stats.RestoreBytes += h.bytes
+		m.addResident(h.bytes)
+	} else {
+		m.addResident(h.bytes - wasBytes)
+	}
+	m.cond.Broadcast()
+	return nil
+}
+
+// asRangeThawer and asMappedThawer fish the optional interfaces out of
+// the registered object.
+func asRangeThawer(obj Freezer) RangeThawer {
+	if rt, ok := obj.(RangeThawer); ok {
+		return rt
+	}
+	return nil
+}
+
+func asMappedThawer(obj Freezer) MappedThawer {
+	if mt, ok := obj.(MappedThawer); ok {
+		return mt
+	}
+	return nil
+}
+
+// copyThaw is the plain buffered restore.
+func copyThaw(path string, obj Freezer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
-	if err := h.obj.Thaw(br); err != nil {
-		f.Close()
-		return fmt.Errorf("spill: restore %s: %w", h.label, err)
-	}
+	err = obj.Thaw(br)
 	f.Close()
-	os.Remove(h.file)
-	h.frozen = false
-	h.bytes = int64(h.size())
-	h.restores++
-	m.stats.Restores++
-	m.stats.RestoreBytes += h.bytes
-	m.addResident(h.bytes)
-	return nil
+	return err
+}
+
+// mmapSnapshot maps the whole spill file privately.
+func mmapSnapshot(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, fmt.Errorf("spill: empty snapshot %s", path)
+	}
+	return mmapFile(f, fi.Size())
 }
 
 // sanitize keeps spill file names to a portable character set.

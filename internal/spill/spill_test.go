@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"qppt/internal/arena"
+	"qppt/internal/prefixtree"
 )
 
 // fakeIndex is a minimal Freezer: a Slots arena plus a payload count, so
@@ -244,28 +245,165 @@ func TestFailedFreezeKeepsIndexResident(t *testing.T) {
 	h.Unpin()
 }
 
-func TestParseBytes(t *testing.T) {
-	cases := map[string]int64{
-		"0":      0,
-		"123":    123,
-		"64k":    64 << 10,
-		"64K":    64 << 10,
-		"64kb":   64 << 10,
-		"64KiB":  64 << 10,
-		"256MiB": 256 << 20,
-		"256mb":  256 << 20,
-		"1.5g":   3 << 29,
-		"2T":     2 << 40,
+// buildTree returns a prefix tree of n sequential keys; *prefixtree.Tree
+// implements Freezer, RangeThawer and MappedThawer directly, so the
+// manager-level restore paths can be tested against the real structure.
+func buildTree(n int) *prefixtree.Tree {
+	tr := prefixtree.MustNew(prefixtree.Config{PrefixLen: 4, KeyBits: 32, PayloadWidth: 1})
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), []uint64{uint64(i) * 3})
 	}
-	for in, want := range cases {
-		got, err := ParseBytes(in)
-		if err != nil || got != want {
-			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+	return tr
+}
+
+func checkTreeRange(t *testing.T, tr *prefixtree.Tree, lo, hi uint64) {
+	t.Helper()
+	got := 0
+	tr.Range(lo, hi, func(lf *prefixtree.Leaf) bool {
+		if lf.Vals.First()[0] != lf.Key*3 {
+			t.Fatalf("key %d: wrong payload", lf.Key)
 		}
+		got++
+		return true
+	})
+	if got != int(hi-lo+1) {
+		t.Fatalf("range [%d,%d] visited %d keys", lo, hi, got)
 	}
-	for _, bad := range []string{"", "x", "-5", "12q", "mib"} {
-		if _, err := ParseBytes(bad); err == nil {
-			t.Errorf("ParseBytes(%q) did not fail", bad)
-		}
+}
+
+// PinRange on a frozen entry must restore only part of the structure
+// (partial counters move, plain restore counters behave like a thaw),
+// serve in-range queries, and a later full Pin must complete it in place.
+func TestManagerPinRangePartialThaw(t *testing.T) {
+	m, err := New(1, "") // everything unpinned spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr := buildTree(40000)
+	h := m.Register("sel", tr, tr.Bytes)
+	if !h.Frozen() {
+		t.Fatal("entry not frozen under 1-byte budget")
+	}
+	if err := h.PinRange(1000, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Partial() || !tr.Partial() {
+		t.Fatal("narrow PinRange did not leave the entry partial")
+	}
+	checkTreeRange(t, tr, 1000, 2000)
+	st := m.Stats()
+	if st.PartialRestores == 0 || st.Restores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	partialRead := st.RestoreBytesRead
+	if partialRead == 0 {
+		t.Fatal("no restore bytes recorded")
+	}
+
+	// A covered range re-pins without extra I/O, even while pinned.
+	if err := h.PinRange(1200, 1300); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().RestoreBytesRead; got != partialRead {
+		t.Fatalf("covered PinRange read %d more bytes", got-partialRead)
+	}
+	h.Unpin()
+	h.Unpin()
+
+	// A full Pin tops the entry up in place.
+	if err := h.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Partial() || tr.Partial() {
+		t.Fatal("full Pin left the entry partial")
+	}
+	checkTreeRange(t, tr, 0, 39999)
+	if got := m.Stats().RestoreBytesRead; got <= partialRead {
+		t.Fatal("top-up read no further bytes")
+	}
+	h.Unpin()
+}
+
+// With Config.Mmap the restore must adopt mapped pages (MmapRestores
+// counter, far fewer copied bytes than the file holds), stay re-evictable
+// without rewriting, and Close must materialize a still-pinned entry so
+// the caller's index survives the unmapping.
+func TestManagerMmapThawAndMaterialize(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	m, err := NewConfig(Config{Budget: 1, Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large enough that the node arena spans multiple *full* 256 KiB
+	// chunks — only full chunks can be adopted from the mapping.
+	const n = 200000
+	tr := buildTree(n)
+	h := m.Register("idx", tr, tr.Bytes)
+	if !h.Frozen() {
+		t.Fatal("not frozen")
+	}
+	fi, err := os.Stat(h.file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.MmapRestores != 1 {
+		t.Fatalf("MmapRestores = %d", st.MmapRestores)
+	}
+	if st.RestoreBytesRead >= fi.Size() {
+		t.Fatalf("mmap restore copied %d of %d file bytes", st.RestoreBytesRead, fi.Size())
+	}
+	checkTreeRange(t, tr, 0, n-1)
+
+	// Unpin → refreeze (no rewrite needed: the file is still valid) →
+	// thaw again.
+	h.Unpin()
+	if !h.Frozen() {
+		t.Fatal("unpinned entry not re-frozen under pressure")
+	}
+	if err := h.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	checkTreeRange(t, tr, 0, n-1)
+
+	// Close with the pin held: the mapping goes away, the data must not.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkTreeRange(t, tr, 0, n-1)
+}
+
+// Drop must delete the spill file and make further pins fail, while the
+// handle's counters stay readable.
+func TestHandleDrop(t *testing.T) {
+	m, err := New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr := buildTree(5000)
+	h := m.Register("dead", tr, tr.Bytes)
+	if !h.Frozen() {
+		t.Fatal("not frozen")
+	}
+	file := h.file
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("spill file missing before drop: %v", err)
+	}
+	h.Drop()
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Fatalf("spill file survived drop: %v", err)
+	}
+	if err := h.Pin(); err == nil {
+		t.Fatal("pin on a dropped entry succeeded")
+	}
+	if s, _ := h.Counts(); s != 1 {
+		t.Fatalf("spill count lost after drop: %d", s)
 	}
 }

@@ -40,35 +40,6 @@ func TestMorselParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestArenaPointerLayoutsMatch asserts bit-identical results between the
-// arena-backed compact-pointer intermediate indexes (the default) and the
-// retained pointer-based baseline layout, for every SSB query, serially
-// and under morsel parallelism. The index layout is a pure storage
-// decision; any visible difference is a layout bug.
-func TestArenaPointerLayoutsMatch(t *testing.T) {
-	ds := testDataset(t)
-	for _, qid := range QueryIDs {
-		arena, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: true})
-		if err != nil {
-			t.Fatalf("Q%s arena: %v", qid, err)
-		}
-		for _, workers := range []int{1, 3} {
-			opt := PlanOptions{
-				UseSelectJoin: true,
-				Exec:          core.Options{Workers: workers, PointerLayout: true},
-			}
-			ptr, _, err := ds.RunQPPT(qid, opt)
-			if err != nil {
-				t.Fatalf("Q%s pointer workers=%d: %v", qid, workers, err)
-			}
-			if !reflect.DeepEqual(arena.Rows, ptr.Rows) {
-				t.Errorf("Q%s workers=%d: pointer-layout result differs from arena (%d vs %d rows)",
-					qid, workers, len(ptr.Rows), len(arena.Rows))
-			}
-		}
-	}
-}
-
 // TestMorselStatsRecordConfiguration: the plan statistics must surface
 // the pool configuration and the per-operator worker/morsel counts, so
 // benchmark output records what it measured.

@@ -124,3 +124,90 @@ func TestSpillBudgetDecomposedSelections(t *testing.T) {
 		t.Errorf("decomposed plan: spills=%d restores=%d", stats.Spills, stats.Restores)
 	}
 }
+
+// TestSpillRecycleMmapMatches is the memory-lifecycle acceptance test:
+// every SSB query runs with the plan-scoped chunk recycler AND the
+// zero-copy mmap restore enabled, serially and under morsel parallelism,
+// under a budget below the plan's peak intermediate footprint — and must
+// stay bit-identical to the plain run while the recycler and mmap
+// counters prove both mechanisms actually engaged.
+func TestSpillRecycleMmapMatches(t *testing.T) {
+	ds := testDataset(t)
+	sawMmap, sawReuse := false, false
+	for _, qid := range QueryIDs {
+		plain, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: true})
+		if err != nil {
+			t.Fatalf("Q%s plain: %v", qid, err)
+		}
+		peak := peakIntermediateBytes(t, ds, qid, PlanOptions{UseSelectJoin: true})
+		budget := int64(peak) / 2
+		if budget == 0 {
+			budget = 1
+		}
+		for _, workers := range []int{1, 3} {
+			opt := PlanOptions{
+				UseSelectJoin: true,
+				Exec: core.Options{
+					Workers:      workers,
+					MemBudget:    budget,
+					MmapThaw:     true,
+					Recycle:      true,
+					CollectStats: true,
+				},
+			}
+			got, stats, err := ds.RunQPPT(qid, opt)
+			if err != nil {
+				t.Fatalf("Q%s workers=%d recycle+mmap: %v", qid, workers, err)
+			}
+			if !reflect.DeepEqual(plain.Rows, got.Rows) {
+				t.Errorf("Q%s workers=%d: recycle+mmap result differs (%d vs %d rows)",
+					qid, workers, len(got.Rows), len(plain.Rows))
+			}
+			if stats.ChunksRecycled == 0 {
+				t.Errorf("Q%s workers=%d: recycler idle: %+v", qid, workers, stats)
+			}
+			sawMmap = sawMmap || stats.MmapRestores > 0
+			sawReuse = sawReuse || stats.ChunksReused > 0
+		}
+	}
+	if !sawReuse {
+		t.Error("no query reused a recycled chunk")
+	}
+	if !sawMmap {
+		t.Error("no query took the zero-copy mmap restore path")
+	}
+}
+
+// The recycler alone (no budget, no spilling) must also be invisible in
+// the results — serially and in parallel, across plan shapes.
+func TestRecycleMatchesAcrossPlanShapes(t *testing.T) {
+	ds := testDataset(t)
+	for _, qid := range QueryIDs {
+		for _, useSJ := range []bool{true, false} {
+			plain, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: useSJ})
+			if err != nil {
+				t.Fatalf("Q%s: %v", qid, err)
+			}
+			for _, workers := range []int{1, 3} {
+				opt := PlanOptions{
+					UseSelectJoin: useSJ,
+					Exec:          core.Options{Workers: workers, Recycle: true, CollectStats: true},
+				}
+				got, stats, err := ds.RunQPPT(qid, opt)
+				if err != nil {
+					t.Fatalf("Q%s selectjoin=%v workers=%d recycle: %v", qid, useSJ, workers, err)
+				}
+				if !reflect.DeepEqual(plain.Rows, got.Rows) {
+					t.Errorf("Q%s selectjoin=%v workers=%d: recycled result differs", qid, useSJ, workers)
+				}
+				// Single-operator plans (a lone composed select-join over
+				// base tables) have no intermediate to drop; everywhere
+				// else the recycler must have seen traffic.
+				if len(stats.Ops) > 1 && stats.ChunksRecycled == 0 {
+					t.Errorf("Q%s selectjoin=%v workers=%d: recycler idle across %d operators",
+						qid, useSJ, workers, len(stats.Ops))
+				}
+			}
+		}
+	}
+}

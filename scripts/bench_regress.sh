@@ -11,7 +11,10 @@
 #
 # The benchmark set covers the engine's hot kernels: the parallel
 # partition-wise merge, batched prefix-tree/KISS lookup and insert (arena
-# and pointer layouts), and the synchronous index scan.
+# and pointer layouts), and the synchronous index scan. Benchmarks run
+# with -benchmem, so cmd/benchdiff gates allocs/op next to ns/op —
+# allocation regressions on the hot kernels fail CI even when wall time
+# hides them in runner noise.
 #
 # --interleave alternates count-1 runs between the base worktree and the
 # current tree instead of running one side after the other. Shared and
@@ -29,7 +32,7 @@ PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|Benchm
 PKGS="./internal/core ./internal/prefixtree ./internal/kisstree"
 
 run_benches() { # $1 = count
-  go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$1" $PKGS
+  go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$1" $PKGS
 }
 
 compare() { # $1 = old file, $2 = new file
@@ -37,8 +40,8 @@ compare() { # $1 = old file, $2 = new file
     echo; echo "=== benchstat report ==="
     benchstat "$1" "$2" || true
   fi
-  echo; echo "=== regression gate (median ns/op, >15% separated fails) ==="
-  go run ./cmd/benchdiff -old "$1" -new "$2" -threshold 15
+  echo; echo "=== regression gate (median ns/op + allocs/op, >15% separated fails) ==="
+  go run ./cmd/benchdiff -old "$1" -new "$2" -threshold 15 -allocs-threshold 15
 }
 
 if [ "${REGEN:-0}" = "1" ]; then

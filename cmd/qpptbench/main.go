@@ -2,11 +2,11 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|engine|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
-//	          [-workers N] [-morsels M] [-membudget 256MiB]
+//	          [-workers N] [-morsels M] [-buffer B] [-membudget 256MiB]
 //	          [-recycle] [-mmapthaw]
-//	          [-benchjson BENCH_qppt.json] [-benchlabel PR-4]
+//	          [-benchjson BENCH_qppt.json] [-benchlabel PR-5]
 //
 // -benchjson appends a machine-readable perf snapshot (per-query ms, the
 // memory-lifecycle ablation) to the snapshot history in the given file,
@@ -30,6 +30,11 @@
 // single-threaded, and the ablations control their own configuration
 // (the workers ablation sweeps the pool size itself).
 //
+// -fig engine times the thirteen-query suite one-shot (per-plan pools)
+// against engine-reused execution (one core.Env across the suite, the
+// qppt.Engine configuration) and records both row sets in the snapshot —
+// the cross-plan resource-reuse trajectory of the Engine/Session API.
+//
 // Absolute numbers will differ from the paper's C/C++ system; the point
 // is to reproduce the shapes: who wins, by roughly what factor, and where
 // the crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
@@ -45,8 +50,9 @@ import (
 	"strings"
 	"time"
 
+	"qppt"
 	"qppt/internal/bench"
-	"qppt/internal/core"
+	"qppt/internal/cliflags"
 	"qppt/internal/spill"
 	"qppt/internal/ssb"
 )
@@ -105,33 +111,29 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, engine, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
 	seed := flag.Int64("seed", 42, "data generator seed")
-	workers := flag.Int("workers", 1, "shared worker pool size for the QPPT engine (1 = serial, the paper's mode)")
-	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
-	membudget := flag.String("membudget", "", "also time the fig-7 QPPT rows under this intermediate-index memory budget (index spilling; e.g. 256MiB)")
-	recycle := flag.Bool("recycle", false, "enable the plan-scoped chunk recycler for the QPPT engine rows")
-	mmapthaw := flag.Bool("mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
+	execFlags := cliflags.Register(flag.CommandLine)
 	benchjson := flag.String("benchjson", "", "append a JSON perf snapshot (query times, memory-lifecycle ablation) to the history in this file")
 	benchlabel := flag.String("benchlabel", "", "label for the appended perf snapshot (e.g. the PR number)")
 	flag.Parse()
-	exec := core.Options{Workers: *workers, MorselsPerWorker: *morsels, Recycle: *recycle, MmapThaw: *mmapthaw}
-	var budget int64
-	if *membudget != "" {
-		b, err := spill.ParseBytes(*membudget)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -membudget: %v\n", err)
-			os.Exit(2)
-		}
-		budget = b
+	execAll, err := execFlags.ExecOptions()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad flags: %v\n", err)
+		os.Exit(2)
 	}
+	// The unbudgeted figure rows run without spilling; the -membudget
+	// configuration is timed as its own row set where a figure asks for it.
+	budget := execAll.MemBudget
+	exec := execAll
+	exec.MemBudget = 0
 	snap := benchSnapshot{
 		Label: *benchlabel, When: time.Now().UTC().Format(time.RFC3339),
-		SF: *sf, Workers: *workers, GoMaxP: runtime.GOMAXPROCS(0), MemBudget: budget,
-		Recycle: *recycle, MmapThaw: *mmapthaw,
+		SF: *sf, Workers: exec.Workers, GoMaxP: runtime.GOMAXPROCS(0), MemBudget: budget,
+		Recycle: exec.Recycle, MmapThaw: exec.MmapThaw,
 	}
 
 	var sizes []int
@@ -184,14 +186,14 @@ func main() {
 		printQueryTimes(rows)
 		snap.Queries = append(snap.Queries, rows...)
 		if budget > 0 {
-			fmt.Printf("=== Figure 7 (QPPT rows) under -membudget %s (index spilling) [ms] ===\n", *membudget)
+			fmt.Printf("=== Figure 7 (QPPT rows) under -membudget %s (index spilling) [ms] ===\n", execFlags.MemBudget)
 			spillExec := exec
 			spillExec.MemBudget = budget
-			cfgLabel := fmt.Sprintf("membudget=%s", *membudget)
-			if *recycle {
+			cfgLabel := fmt.Sprintf("membudget=%s", execFlags.MemBudget)
+			if exec.Recycle {
 				cfgLabel += ",recycle"
 			}
-			if *mmapthaw {
+			if exec.MmapThaw {
 				cfgLabel += ",mmapthaw"
 			}
 			srows, err := bench.QPPTTimes(dataset(), *reps, spillExec, cfgLabel)
@@ -272,6 +274,29 @@ func main() {
 			fmt.Printf("  batch %5d  lookup %7.1f ns/key\n", r.BatchSize, r.LookupNs)
 		}
 		fmt.Println()
+	}
+	if wants("engine") {
+		fmt.Println("=== Engine reuse: 13-query suite, one-shot vs engine-reused (shared pool + cross-plan recycler) [ms] ===")
+		recycleCap, err := execFlags.RecycleCapBytes()
+		if err != nil {
+			fatal(err)
+		}
+		if recycleCap == 0 {
+			// Match a default-configured qppt.Engine, whose session pool is
+			// capped — an unbounded pool would overstate reuse at scale.
+			recycleCap = qppt.DefaultRecycleCap
+		}
+		// Unlike the fig-7 rows, the engine comparison honors -membudget
+		// directly: the point is the full engine configuration, and the
+		// row labels record the budgeted runs.
+		rows, reuse, err := bench.EngineReuseCompare(dataset(), *reps, execAll, recycleCap)
+		if err != nil {
+			fatal(err)
+		}
+		printQueryTimes(rows)
+		fmt.Printf("  engine recycler after the suite: %d chunks reused across plans, %s of allocation avoided\n\n",
+			reuse.Reused, spill.FormatBytes(reuse.SavedBytes))
+		snap.Queries = append(snap.Queries, rows...)
 	}
 	if wants("memlife") {
 		fmt.Println("=== Ablation: plan memory lifecycle (recycler, mmap/partial thaw) over the SSB suite ===")

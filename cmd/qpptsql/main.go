@@ -1,20 +1,23 @@
-// Command qpptsql is an interactive SQL shell over an in-memory SSB
-// instance, executing queries through the QPPT engine.
+// Command qpptsql is an interactive SQL shell — and, with -serve, a tiny
+// HTTP query server — over an in-memory SSB instance, executing queries
+// through one long-lived qppt.Engine.
 //
 // Usage:
 //
 //	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
 //	        [-workers N] [-morsels M] [-membudget 256MiB]
-//	        [-recycle] [-mmapthaw]
+//	        [-norecycle] [-recyclecap 256MiB] [-mmapthaw]
+//	        [-serve :8080]
 //
-// -membudget caps the resident bytes of each plan's intermediate indexes;
-// cold intermediates spill to temp files and are restored on next access
-// (index spilling — results are identical, \stats shows the traffic).
-// Accepts plain bytes or K/M/G suffixes (powers of 1024). -recycle pools
-// dropped intermediates' chunks for reuse within each plan; -mmapthaw
-// restores spilled intermediates zero-copy by adopting privately mapped
-// spill-file pages. Both are pure storage decisions — results are
-// identical, \stats shows the savings.
+// One Engine lives for the whole process: every statement shares its
+// worker pool, its session chunk pool (on by default — dropped
+// intermediates' chunks stay warm *across* queries; -norecycle turns it
+// off, -recyclecap bounds it), and its spill budget
+// (-membudget spans concurrent statements; cold intermediates spill to
+// temp files and restore on access — results are identical, \stats and
+// \engine show the traffic). -mmapthaw restores spilled intermediates
+// zero-copy by adopting privately mapped spill-file pages. Byte flags
+// accept plain bytes or K/M/G suffixes (powers of 1024).
 //
 // Meta commands inside the shell:
 //
@@ -22,20 +25,32 @@
 //	\ssb <id>     run benchmark query <id> (for example: \ssb 2.3)
 //	\tables       list tables and row counts
 //	\stats        toggle per-operator statistics
+//	\engine       print the engine's cross-query resource counters
 //
 // Statements may span lines and end with a semicolon.
+//
+// -serve starts an HTTP endpoint instead of the shell: GET or POST
+// /query with the statement in the q parameter (or the request body)
+// returns decoded rows as JSON. All requests share the one Engine, so
+// steady traffic runs against warm chunk pools — the serving mode the
+// ROADMAP's north star asks for, in miniature.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
-	"qppt/internal/core"
-	"qppt/internal/spill"
-	"qppt/internal/sql"
+	"qppt"
+	"qppt/internal/cliflags"
 	"qppt/internal/ssb"
 )
 
@@ -43,32 +58,44 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "SSB scale factor")
 	stats := flag.Bool("stats", false, "print per-operator statistics")
 	noSJ := flag.Bool("no-select-join", false, "disable composed select-join operators")
-	buffer := flag.Int("buffer", 512, "joinbuffer/selectionbuffer size (1 disables batching)")
-	workers := flag.Int("workers", 1, "shared worker pool size for morsel-driven parallel execution (1 = serial)")
-	morsels := flag.Int("morsels", 0, "morsels per worker (0 = default fan-out)")
-	membudget := flag.String("membudget", "", "intermediate-index memory budget (e.g. 256MiB); empty = unlimited, no spilling")
-	recycle := flag.Bool("recycle", false, "recycle dropped intermediates' chunks within each plan")
-	mmapthaw := flag.Bool("mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
+	serve := flag.String("serve", "", "serve HTTP queries on this address (e.g. :8080) instead of the interactive shell")
+	exec := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	var budget int64
-	if *membudget != "" {
-		b, err := spill.ParseBytes(*membudget)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qpptsql:", err)
-			os.Exit(2)
-		}
-		budget = b
+	cfg, err := exec.EngineConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpptsql:", err)
+		os.Exit(2)
 	}
 
 	fmt.Printf("loading SSB at SF=%g...\n", *sf)
 	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 42})
 	fmt.Printf("ready: lineorder=%d customer=%d supplier=%d part=%d date=%d rows\n",
 		ds.Lineorder.Rows(), ds.Customer.Rows(), ds.Supplier.Rows(), ds.Part.Rows(), ds.Date.Rows())
-	fmt.Println(`type SQL ending with ';', or \q to quit, \ssb <id> for benchmark queries`)
 
-	planner := sql.NewPlanner(ds.Cat)
-	showStats := *stats
+	eng, err := qppt.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpptsql:", err)
+		os.Exit(2)
+	}
+	defer eng.Close()
+	sess := eng.Session(ds.Cat)
+
+	if *serve != "" {
+		if err := serveHTTP(*serve, sess, *noSJ); err != nil {
+			fmt.Fprintln(os.Stderr, "qpptsql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println(`type SQL ending with ';', \q to quit, \ssb <id> for benchmark queries, \engine for pool stats`)
+	repl(sess, ds, *stats, *noSJ)
+}
+
+// repl drives the interactive shell over one engine session.
+func repl(sess *qppt.Session, ds *ssb.Dataset, stats, noSJ bool) {
+	showStats := stats
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -96,6 +123,10 @@ func main() {
 			fmt.Printf("statistics %v\n", map[bool]string{true: "on", false: "off"}[showStats])
 			prompt()
 			continue
+		case buf.Len() == 0 && line == `\engine`:
+			fmt.Print(sess.Engine().Stats())
+			prompt()
+			continue
 		case buf.Len() == 0 && strings.HasPrefix(line, `\ssb `):
 			qid := strings.TrimSpace(strings.TrimPrefix(line, `\ssb `))
 			text, ok := ssb.SQLTexts[qid]
@@ -105,39 +136,34 @@ func main() {
 				continue
 			}
 			fmt.Println(text)
-			run(planner, text, showStats, *noSJ, exec(*buffer, *workers, *morsels, budget, *recycle, *mmapthaw))
+			run(sess, text, showStats, noSJ)
 			prompt()
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte(' ')
 		if strings.HasSuffix(line, ";") {
-			run(planner, buf.String(), showStats, *noSJ, exec(*buffer, *workers, *morsels, budget, *recycle, *mmapthaw))
+			run(sess, buf.String(), showStats, noSJ)
 			buf.Reset()
 		}
 		prompt()
 	}
 }
 
-// exec assembles the execution options from the shell flags.
-func exec(buffer, workers, morsels int, membudget int64, recycle, mmapthaw bool) core.Options {
-	return core.Options{
-		BufferSize: buffer, Workers: workers, MorselsPerWorker: morsels,
-		MemBudget: membudget, Recycle: recycle, MmapThaw: mmapthaw,
+// queryOptions assembles the per-query options from the shell state.
+func queryOptions(stats, noSJ bool) []qppt.QueryOption {
+	var opts []qppt.QueryOption
+	if stats {
+		opts = append(opts, qppt.WithStats())
 	}
+	if noSJ {
+		opts = append(opts, qppt.WithoutSelectJoin())
+	}
+	return opts
 }
 
-func run(planner *sql.Planner, text string, stats, noSJ bool, exec core.Options) {
-	exec.CollectStats = stats
-	stmt, err := planner.PlanSQL(text, sql.Options{
-		UseSelectJoin: !noSJ,
-		Exec:          exec,
-	})
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	rows, planStats, err := stmt.Run()
+func run(sess *qppt.Session, text string, stats, noSJ bool) {
+	rows, planStats, err := sess.Query(context.Background(), text, queryOptions(stats, noSJ)...)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -158,4 +184,68 @@ func run(planner *sql.Planner, text string, stats, noSJ bool, exec core.Options)
 	if stats && planStats != nil {
 		fmt.Print(planStats)
 	}
+}
+
+// serveHTTP runs the query server: every request executes on the shared
+// engine session, with the request context cancelling the plan when the
+// client disconnects.
+func serveHTTP(addr string, sess *qppt.Session, noSJ bool) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		text := r.FormValue("q")
+		if text == "" {
+			body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			text = strings.TrimSpace(string(body))
+		}
+		if text == "" {
+			http.Error(w, "missing query (q parameter or request body)", http.StatusBadRequest)
+			return
+		}
+		t0 := time.Now()
+		// Prepare and Run separately so failures classify honestly: a bad
+		// statement is the client's fault (400), an execution failure —
+		// spill I/O — is the server's (500), a closed engine is the server
+		// shutting down (503), and a client that hung up mid-query is
+		// neither (499).
+		status := func(err error, fallback int) int {
+			switch {
+			case r.Context().Err() != nil:
+				return 499 // client closed request
+			case errors.Is(err, qppt.ErrEngineClosed):
+				return http.StatusServiceUnavailable
+			}
+			return fallback
+		}
+		stmt, err := sess.Prepare(r.Context(), text, queryOptions(false, noSJ)...)
+		if err != nil {
+			http.Error(w, err.Error(), status(err, http.StatusBadRequest))
+			return
+		}
+		rows, _, err := stmt.Run(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), status(err, http.StatusInternalServerError))
+			return
+		}
+		decoded := make([][]string, len(rows.Rows))
+		for i := range rows.Rows {
+			cells := make([]string, len(rows.Attrs))
+			for c := range rows.Attrs {
+				cells[c] = rows.Decode(i, c)
+			}
+			decoded[i] = cells
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"attrs":   rows.Attrs,
+			"rows":    decoded,
+			"elapsed": time.Since(t0).String(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := sess.Engine().Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	fmt.Printf("serving queries on %s (POST /query, GET /stats)\n", addr)
+	return http.ListenAndServe(addr, mux)
 }

@@ -1,0 +1,239 @@
+// Package qppt is the public embedding surface of the QPPT engine — the
+// prefix-tree query processing model of Kissinger et al. (CIDR 2013) as a
+// long-lived, multi-query service instead of a one-shot plan executor.
+//
+// An Engine owns the execution resources whose value only shows across
+// queries: the shared morsel-scheduler worker pool, a session-scoped chunk
+// recycler (dropped intermediate indexes feed the next query's
+// allocations), and one spill manager whose memory budget spans every
+// concurrent plan. Sessions opened on the Engine compile and run SQL with
+// context cancellation:
+//
+//	eng, _ := qppt.New(qppt.Config{Workers: 8, MemBudget: 512 << 20})
+//	defer eng.Close()
+//	sess := eng.Session(cat)
+//	rows, _, err := sess.Query(ctx, "select d_year, sum(lo_revenue) ...")
+//
+// Plans built directly against internal/core run through the same engine
+// with RunPlan. Everything an Engine does is also reachable one-shot
+// (core.Plan.Run, sql.Statement.Run); the Engine is what a server keeps.
+package qppt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qppt/internal/arena"
+	"qppt/internal/catalog"
+	"qppt/internal/core"
+	"qppt/internal/spill"
+	"qppt/internal/sql"
+)
+
+// DefaultRecycleCap bounds the session chunk pool when Config.RecycleCap
+// is zero: enough to carry the steady-state chunk population of a heavy
+// analytical suite, small enough that one freak plan cannot pin its peak
+// footprint for the engine's lifetime.
+const DefaultRecycleCap = 256 << 20
+
+// Config parameterizes an Engine. The zero value is a serial engine with
+// cross-plan chunk recycling (capped at DefaultRecycleCap) and no memory
+// budget.
+type Config struct {
+	// Workers sizes the shared worker pool every plan draws from
+	// (core.WorkersAuto sizes it to GOMAXPROCS; 0 or 1 is serial). The
+	// pool is an engine property: per-query options cannot resize it.
+	Workers int
+	// MorselsPerWorker is the default morsel fan-out of parallel
+	// operators (0 = core default).
+	MorselsPerWorker int
+	// BufferSize is the default joinbuffer/selectionbuffer size
+	// (0 = core default).
+	BufferSize int
+	// MemBudget caps the resident bytes of intermediate indexes across
+	// all concurrent plans; cold intermediates spill to SpillDir and thaw
+	// on access (0 = no spilling). MmapThaw selects the zero-copy restore
+	// path.
+	MemBudget int64
+	SpillDir  string
+	MmapThaw  bool
+	// DisableRecycle turns the session chunk recycler off. By default the
+	// engine recycles: cross-plan chunk reuse is most of why a long-lived
+	// engine beats one-shot execution on steady query traffic.
+	DisableRecycle bool
+	// RecycleCap bounds the bytes the session chunk pool may retain;
+	// chunks beyond it go to the garbage collector and are counted as
+	// trim evictions in Stats. 0 means DefaultRecycleCap; negative means
+	// unbounded.
+	RecycleCap int64
+}
+
+// ErrEngineClosed is returned by every query entry point after Close.
+var ErrEngineClosed = errors.New("qppt: engine is closed")
+
+// An Engine is a long-lived query engine: one worker pool, one session
+// chunk pool and one spill budget shared by every session and plan run
+// against it. Engines are safe for concurrent use, including Close:
+// queries that began before Close finish normally (Close drains them
+// before tearing down the shared spill state), later ones fail with
+// ErrEngineClosed.
+type Engine struct {
+	cfg     Config
+	env     *core.Env
+	queries atomic.Int64
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// New builds an Engine from the configuration.
+func New(cfg Config) (*Engine, error) {
+	recycleCap := cfg.RecycleCap
+	switch {
+	case recycleCap == 0:
+		recycleCap = DefaultRecycleCap
+	case recycleCap < 0:
+		recycleCap = 0 // unbounded
+	}
+	env, err := core.NewEnv(core.EnvConfig{
+		Workers:    cfg.Workers,
+		Recycle:    !cfg.DisableRecycle,
+		RecycleCap: recycleCap,
+		MemBudget:  cfg.MemBudget,
+		SpillDir:   cfg.SpillDir,
+		MmapThaw:   cfg.MmapThaw,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, env: env}, nil
+}
+
+// Env exposes the engine's execution environment for callers that drive
+// core.Plan.RunCtx (or ssb.RunQPPTCtx, bench harnesses, tests) directly.
+func (e *Engine) Env() *core.Env { return e.env }
+
+// Workers reports the shared pool size.
+func (e *Engine) Workers() int { return e.env.Workers() }
+
+// Stats is a point-in-time snapshot of the engine's cross-plan resource
+// counters.
+type Stats struct {
+	// Queries counts the plans executed through the engine since New.
+	Queries int64
+	// Workers is the shared pool size.
+	Workers int
+	// Recycler aggregates the session chunk pool's traffic — Reused and
+	// SavedBytes are the cross-plan reuse the engine exists for;
+	// TrimEvicted counts chunks the RecycleCap turned away.
+	Recycler arena.RecyclerStats
+	// Spill aggregates the shared spill manager's activity under
+	// Config.MemBudget (zero without a budget).
+	Spill spill.Stats
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:  e.queries.Load(),
+		Workers:  e.env.Workers(),
+		Recycler: e.env.RecyclerStats(),
+		Spill:    e.env.SpillStats(),
+	}
+}
+
+func (s Stats) String() string {
+	out := fmt.Sprintf("engine: %d queries on %d workers\n", s.Queries, s.Workers)
+	r := s.Recycler
+	out += fmt.Sprintf("recycler: %d chunks parked (%s pooled), %d reused (%s of allocation avoided)",
+		r.Recycled, spill.FormatBytes(r.PooledBytes), r.Reused, spill.FormatBytes(r.SavedBytes))
+	if r.TrimEvicted > 0 {
+		out += fmt.Sprintf(", %d trim-evicted (%s)", r.TrimEvicted, spill.FormatBytes(r.TrimEvictedBytes))
+	}
+	out += "\n"
+	if sp := s.Spill; sp.Spills > 0 || sp.Restores > 0 || sp.Resident > 0 {
+		out += fmt.Sprintf("spill: %d spills (%s out), %d restores (%s in), resident %s (peak %s)\n",
+			sp.Spills, spill.FormatBytes(sp.SpillBytes), sp.Restores, spill.FormatBytes(sp.RestoreBytes),
+			spill.FormatBytes(sp.Resident), spill.FormatBytes(sp.Peak))
+	}
+	return out
+}
+
+// Close releases the engine's resources (spill files, temp directories).
+// In-flight queries are drained first — the shared spill manager must not
+// unmap or delete state a running plan still reads — and every later
+// query fails with ErrEngineClosed. Results already returned stay valid.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	return e.env.Close()
+}
+
+// checkOpen guards non-executing entry points against use after Close.
+func (e *Engine) checkOpen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	return nil
+}
+
+// begin registers one in-flight query; Close waits for its matching end.
+// The closed check and the WaitGroup add happen under one lock, so a
+// query either sees ErrEngineClosed or is fully drained by Close — never
+// races the spill teardown.
+func (e *Engine) begin() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.inflight.Add(1)
+	return nil
+}
+
+func (e *Engine) end() { e.inflight.Done() }
+
+// Session opens a session against a catalog: the handle queries and
+// prepared statements run through. Sessions are lightweight (a planner
+// over the catalog plus the engine reference) and safe for concurrent
+// use; open as many as there are clients.
+func (e *Engine) Session(cat *catalog.Catalog) *Session {
+	return &Session{eng: e, planner: sql.NewPlanner(cat)}
+}
+
+// RunPlan executes a hand-built core plan through the engine — the
+// non-SQL entry point for embedders that construct operator DAGs
+// directly.
+func (e *Engine) RunPlan(ctx context.Context, plan *core.Plan, opts ...QueryOption) (*core.IndexedTable, *core.PlanStats, error) {
+	if err := e.begin(); err != nil {
+		return nil, nil, err
+	}
+	defer e.end()
+	e.queries.Add(1)
+	return plan.RunCtx(ctx, e.env, e.execOptions(opts))
+}
+
+// execOptions folds the engine defaults and the per-query overrides into
+// the core execution options for one run.
+func (e *Engine) execOptions(opts []QueryOption) core.Options {
+	q := queryConfig{exec: core.Options{
+		BufferSize:       e.cfg.BufferSize,
+		MorselsPerWorker: e.cfg.MorselsPerWorker,
+	}}
+	for _, o := range opts {
+		o(&q)
+	}
+	return q.exec
+}

@@ -2,18 +2,20 @@
 // the SQL front end: the kind of interactive slicing the paper's intro
 // motivates. Every statement is parsed, planned into a QPPT plan
 // (selections → composed select-join → aggregating output index) and
-// executed; results print with dictionary strings decoded.
+// executed through one shared Engine session, so later questions reuse
+// the chunks of earlier ones; results print with dictionary strings
+// decoded.
 //
 // Run with: go run ./examples/analytics [-sf 0.05]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"qppt/internal/core"
-	"qppt/internal/sql"
+	"qppt"
 	"qppt/internal/ssb"
 )
 
@@ -23,7 +25,12 @@ func main() {
 
 	fmt.Printf("loading SSB at SF=%g...\n\n", *sf)
 	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 7})
-	planner := sql.NewPlanner(ds.Cat)
+	eng, err := qppt.New(qppt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	sess := eng.Session(ds.Cat)
 
 	queries := []struct{ title, text string }{
 		{"Revenue by customer region (who buys the most?)",
@@ -56,14 +63,7 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Println("──", q.title)
-		stmt, err := planner.PlanSQL(q.text, sql.Options{
-			UseSelectJoin: true,
-			Exec:          core.Options{CollectStats: true},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows, stats, err := stmt.Run()
+		rows, stats, err := sess.Query(context.Background(), q.text, qppt.WithStats())
 		if err != nil {
 			log.Fatal(err)
 		}

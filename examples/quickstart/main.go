@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"qppt"
 	"qppt/internal/catalog"
 	"qppt/internal/core"
 )
@@ -62,8 +64,17 @@ func main() {
 		},
 	}
 
-	// 4. Execute with statistics (the demonstrator's view of a plan).
-	out, stats, err := (&core.Plan{Root: sj}).Run(core.Options{CollectStats: true})
+	// 4. Execute through an Engine with statistics (the demonstrator's
+	// view of a plan). One-shot execution works too — (&core.Plan{Root:
+	// sj}).Run(...) — but the Engine is what a real embedder keeps: its
+	// worker pool and chunk pool serve every later plan (see
+	// examples/engine).
+	eng, err := qppt.New(qppt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	out, stats, err := eng.RunPlan(context.Background(), &core.Plan{Root: sj}, qppt.WithStats())
 	if err != nil {
 		log.Fatal(err)
 	}

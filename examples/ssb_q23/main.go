@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
+	"qppt"
 	"qppt/internal/core"
 	"qppt/internal/ssb"
 )
@@ -32,6 +34,14 @@ func main() {
 	fmt.Printf("loading SSB at SF=%g...\n", *sf)
 	ds := ssb.MustLoad(ssb.GenConfig{SF: *sf, Seed: 42})
 	fmt.Printf("lineorder: %d rows\n\n", ds.Lineorder.Rows())
+
+	// One engine serves every configuration below: the second and third
+	// runs draw their index chunks from the pool the first run filled.
+	eng, err := qppt.New(qppt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
 
 	configs := []struct {
 		name string
@@ -50,7 +60,7 @@ func main() {
 
 	var ref *ssb.QueryResult
 	for _, cfg := range configs {
-		res, stats, err := ds.RunQPPT("2.3", cfg.opt)
+		res, stats, err := ds.RunQPPTCtx(context.Background(), "2.3", cfg.opt, eng.Env())
 		if err != nil {
 			log.Fatal(err)
 		}

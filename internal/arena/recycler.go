@@ -17,10 +17,17 @@
 // indistinguishable from a fresh make.
 //
 // A Recycler is safe for concurrent use: every pool worker building a
-// partial index draws from (and releases to) the same plan-scoped pool.
-// It holds whatever peak chunk population the plan reaches and is dropped
-// wholesale with the plan — there is no trimming policy, matching the
-// plan-scoped lifetime.
+// partial index draws from (and releases to) the same pool — and, when the
+// pool is session-scoped (core.Env / the qppt.Engine), every concurrent
+// plan does too.
+//
+// A plan-scoped pool holds whatever peak chunk population the plan reaches
+// and is dropped wholesale with the plan, so it needs no trimming. A
+// session-scoped pool outlives every plan; SetCap bounds the bytes it may
+// retain — a PutChunk that would push the pooled bytes over the cap drops
+// the chunk to the garbage collector instead (a *trim eviction*, counted
+// in RecyclerStats), so one freak plan cannot pin its peak footprint for
+// the session's lifetime.
 package arena
 
 import (
@@ -30,12 +37,15 @@ import (
 )
 
 // A Recycler pools dropped arena chunks and slab blocks for reuse within
-// one plan execution. The zero value is not ready; create with NewRecycler.
-// A nil *Recycler is accepted everywhere and disables recycling.
+// one plan execution or across the plans of one engine session. The zero
+// value is not ready; create with NewRecycler. A nil *Recycler is accepted
+// everywhere and disables recycling.
 type Recycler struct {
-	mu    sync.Mutex
-	boxes map[chunkClass][]any // pooled chunks (boxed slices), by class
-	stats RecyclerStats
+	mu     sync.Mutex
+	boxes  map[chunkClass][]any // pooled chunks (boxed slices), by class
+	cap    int64                // max pooled bytes; 0 = unbounded
+	pooled int64                // bytes currently parked
+	stats  RecyclerStats
 }
 
 // chunkClass identifies one pool: chunks recycle only within their exact
@@ -53,11 +63,36 @@ type RecyclerStats struct {
 	Reused   int
 	// SavedBytes is the heap allocation avoided by the served reuses.
 	SavedBytes int64
+	// PooledBytes is the current byte footprint of the parked chunks.
+	PooledBytes int64
+	// TrimEvicted counts chunks dropped by the SetCap trim policy instead
+	// of being pooled; TrimEvictedBytes is their byte footprint. Nonzero
+	// values mean the session cap is below the workload's steady-state
+	// chunk population.
+	TrimEvicted      int
+	TrimEvictedBytes int64
 }
 
 // NewRecycler returns an empty pool.
 func NewRecycler() *Recycler {
 	return &Recycler{boxes: make(map[chunkClass][]any)}
+}
+
+// SetCap bounds the bytes the pool may retain: a PutChunk that would push
+// the pooled bytes past capBytes drops its chunk to the garbage collector
+// instead and counts a trim eviction. capBytes <= 0 removes the bound.
+// Session-scoped pools set a cap; plan-scoped pools die with the plan and
+// do not need one.
+func (r *Recycler) SetCap(capBytes int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	r.cap = capBytes
+	r.mu.Unlock()
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -67,7 +102,9 @@ func (r *Recycler) Stats() RecyclerStats {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	s := r.stats
+	s.PooledBytes = r.pooled
+	return s
 }
 
 // classOf returns the pool key for element type T at the given capacity.
@@ -85,10 +122,21 @@ func PutChunk[T any](r *Recycler, c []T) {
 	}
 	c = c[:cap(c)]
 	clear(c) // drop payload references; a recycled chunk reads as fresh
+	var zero T
+	bytes := int64(cap(c)) * int64(unsafe.Sizeof(zero))
 	k := classOf[T](cap(c))
 	r.mu.Lock()
+	if r.cap > 0 && r.pooled+bytes > r.cap {
+		// Trim policy: the pool is full — let the GC take this chunk and
+		// record that the cap, not the workload, decided so.
+		r.stats.TrimEvicted++
+		r.stats.TrimEvictedBytes += bytes
+		r.mu.Unlock()
+		return
+	}
 	r.boxes[k] = append(r.boxes[k], c[:0])
 	r.stats.Recycled++
+	r.pooled += bytes
 	r.mu.Unlock()
 }
 
@@ -111,6 +159,8 @@ func GetChunk[T any](r *Recycler, capElems int) ([]T, bool) {
 	r.boxes[k] = pool[:n-1]
 	r.stats.Reused++
 	var zero T
-	r.stats.SavedBytes += int64(capElems) * int64(unsafe.Sizeof(zero))
+	bytes := int64(capElems) * int64(unsafe.Sizeof(zero))
+	r.stats.SavedBytes += bytes
+	r.pooled -= bytes
 	return c, true
 }

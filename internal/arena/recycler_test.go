@@ -134,3 +134,44 @@ func TestRecyclerConcurrent(t *testing.T) {
 		t.Fatalf("no traffic recorded: %+v", st)
 	}
 }
+
+// SetCap bounds the pooled bytes: chunks beyond the cap are dropped to
+// the GC and counted as trim evictions, and the pool keeps serving what
+// it retained.
+func TestRecyclerTrimCap(t *testing.T) {
+	rec := NewRecycler()
+	const chunkWords = 1024 // 8 KiB per uint64 chunk
+	rec.SetCap(3 * chunkWords * 8)
+	for i := 0; i < 5; i++ {
+		PutChunk(rec, make([]uint64, 0, chunkWords))
+	}
+	st := rec.Stats()
+	if st.Recycled != 3 || st.TrimEvicted != 2 {
+		t.Fatalf("parked %d, trim-evicted %d; want 3 and 2: %+v", st.Recycled, st.TrimEvicted, st)
+	}
+	if st.PooledBytes != 3*chunkWords*8 {
+		t.Fatalf("pooled bytes %d, want %d", st.PooledBytes, 3*chunkWords*8)
+	}
+	if st.TrimEvictedBytes != 2*chunkWords*8 {
+		t.Fatalf("trim-evicted bytes %d, want %d", st.TrimEvictedBytes, 2*chunkWords*8)
+	}
+	// Draining the pool frees cap headroom: the next Put is pooled again.
+	for i := 0; i < 3; i++ {
+		if _, ok := GetChunk[uint64](rec, chunkWords); !ok {
+			t.Fatalf("pooled chunk %d missing", i)
+		}
+	}
+	PutChunk(rec, make([]uint64, 0, chunkWords))
+	st = rec.Stats()
+	if st.Recycled != 4 || st.PooledBytes != chunkWords*8 {
+		t.Fatalf("pool did not reopen after draining: %+v", st)
+	}
+	// An uncapped pool never trims.
+	rec.SetCap(0)
+	for i := 0; i < 8; i++ {
+		PutChunk(rec, make([]uint64, 0, chunkWords))
+	}
+	if got := rec.Stats().TrimEvicted; got != 2 {
+		t.Fatalf("uncapped pool trimmed: %d evictions", got)
+	}
+}

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"qppt/internal/arena"
 	"qppt/internal/core"
 	"qppt/internal/ssb"
 )
@@ -130,6 +132,71 @@ func QPPTTimes(ds *ssb.Dataset, reps int, exec core.Options, config string) ([]Q
 		out = append(out, QueryTime{Query: qid, Engine: EngineQPPT, Config: config, Millis: ms, Rows: rows})
 	}
 	return out, nil
+}
+
+// QPPTTimesEnv is QPPTTimes against a long-lived execution environment:
+// every query runs through env, so the worker pool, session chunk pool
+// and spill budget carry across the suite exactly as they do under a
+// qppt.Engine. The engine-vs-one-shot comparison of the perf snapshot
+// uses it for the reused side.
+func QPPTTimesEnv(ds *ssb.Dataset, reps int, exec core.Options, env *core.Env, config string) ([]QueryTime, error) {
+	var out []QueryTime
+	for _, qid := range ssb.QueryIDs {
+		qppt := ssb.DefaultPlanOptions()
+		qppt.Exec = exec
+		var err error
+		ms, rows := timeIt(reps, func() int {
+			res, _, e := ds.RunQPPTCtx(context.Background(), qid, qppt, env)
+			if e != nil {
+				err = e
+				return 0
+			}
+			return len(res.Rows)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: Q%s qppt (%s): %w", qid, config, err)
+		}
+		out = append(out, QueryTime{Query: qid, Engine: EngineQPPT, Config: config, Millis: ms, Rows: rows})
+	}
+	return out, nil
+}
+
+// EngineReuseCompare runs the thirteen-query suite twice — one-shot
+// (every plan builds and drops its own pool, recycler and spill state)
+// and through one shared environment with cross-plan chunk recycling —
+// and returns both sets of rows plus the reuse the shared environment
+// accumulated. It is the benchmark form of the engine's reason to exist:
+// identical queries, identical results, steady-state allocation behavior.
+// exec applies to both sides — a MemBudget spills per-plan on the
+// one-shot side and engine-wide on the reused side, and the row labels
+// record it; recycleCap bounds the shared pool (0 = unbounded).
+func EngineReuseCompare(ds *ssb.Dataset, reps int, exec core.Options, recycleCap int64) ([]QueryTime, arena.RecyclerStats, error) {
+	suffix := ""
+	if exec.MemBudget > 0 {
+		suffix = ",membudget"
+	}
+	oneShot := exec
+	oneShot.Recycle = true // per-plan pool: the strongest one-shot config
+	rows, err := QPPTTimes(ds, reps, oneShot, "one-shot"+suffix)
+	if err != nil {
+		return nil, arena.RecyclerStats{}, err
+	}
+	env, err := core.NewEnv(core.EnvConfig{
+		Workers:    exec.Workers,
+		Recycle:    true,
+		RecycleCap: recycleCap,
+		MemBudget:  exec.MemBudget,
+		MmapThaw:   exec.MmapThaw,
+	})
+	if err != nil {
+		return nil, arena.RecyclerStats{}, err
+	}
+	defer env.Close()
+	reused, err := QPPTTimesEnv(ds, reps, exec, env, "engine-reuse"+suffix)
+	if err != nil {
+		return nil, arena.RecyclerStats{}, err
+	}
+	return append(rows, reused...), env.RecyclerStats(), nil
 }
 
 // Figure8 reruns the select-join ablation on query 1.1: both baselines

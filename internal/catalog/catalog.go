@@ -10,9 +10,11 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 
 	"qppt/internal/core"
 	"qppt/internal/storage"
@@ -45,6 +47,12 @@ type TableInfo struct {
 
 	dicts   map[string]*Dict // per string column
 	colBits map[string]uint  // minimal key width per column
+
+	// idxMu guards the index cache: concurrent sessions plan against the
+	// same catalog, and the first plan to need a base index builds it.
+	// The lock is held across a build, so racing planners wait for the
+	// one build instead of duplicating the table scan.
+	idxMu   sync.Mutex
 	indexes map[string]*core.IndexedTable
 }
 
@@ -202,8 +210,25 @@ func (def IndexDef) IndexName(table string) string {
 
 // BuildIndex builds (or returns the cached) base index for def over the
 // current committed snapshot. The resulting indexed table's key spec uses
-// the minimal column widths, so narrow domains get KISS-Trees.
+// the minimal column widths, so narrow domains get KISS-Trees. Safe for
+// concurrent use: racing builders of the same index serialize on the
+// table's index lock and all but one get the cached result.
 func (ti *TableInfo) BuildIndex(def IndexDef) (*core.IndexedTable, error) {
+	return ti.BuildIndexCtx(context.Background(), def)
+}
+
+// BuildIndexCtx is BuildIndex with cancellation: the build scans every
+// committed row of the table — the most expensive cold-start step a query
+// can trigger — and polls ctx between row batches, so a dead client stops
+// a full fact-table scan (and releases the index lock for the builders
+// waiting behind it).
+func (ti *TableInfo) BuildIndexCtx(ctx context.Context, def IndexDef) (*core.IndexedTable, error) {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
+	return ti.buildIndexLocked(ctx, def)
+}
+
+func (ti *TableInfo) buildIndexLocked(ctx context.Context, def IndexDef) (*core.IndexedTable, error) {
 	name := def.IndexName(ti.Name)
 	if t, ok := ti.indexes[name]; ok {
 		return t, nil
@@ -232,7 +257,11 @@ func (ti *TableInfo) BuildIndex(def IndexDef) (*core.IndexedTable, error) {
 	row := make([]uint64, len(cols))
 	fields := make([]uint64, len(keyPos))
 	ts := tiNow(ti)
+	scanned := 0
 	ti.Table.ScanCommitted(ts, func(rid uint64, data []uint64) bool {
+		if scanned++; scanned&8191 == 0 && ctx.Err() != nil {
+			return false // cancelled mid-build; the partial index is dropped
+		}
 		var k uint64
 		if comp == nil {
 			k = data[keyPos[0]]
@@ -249,6 +278,9 @@ func (ti *TableInfo) BuildIndex(def IndexDef) (*core.IndexedTable, error) {
 		idx.Insert(k, row)
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t := core.NewIndexedTable(name, ks, cols, idx)
 	ti.indexes[name] = t
 	return t, nil
@@ -264,7 +296,11 @@ func (ti *TableInfo) MustIndex(keyCols []string, include ...string) *core.Indexe
 }
 
 // Index returns a previously built index by canonical name, or nil.
-func (ti *TableInfo) Index(name string) *core.IndexedTable { return ti.indexes[name] }
+func (ti *TableInfo) Index(name string) *core.IndexedTable {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
+	return ti.indexes[name]
+}
 
 // RefreshIndexes rebuilds every built base index from the current
 // committed snapshot. Base indexes have to care for transactional
@@ -274,6 +310,8 @@ func (ti *TableInfo) Index(name string) *core.IndexedTable { return ti.indexes[n
 // before a refresh keep reading their old (consistent) index snapshots;
 // new plans see the new state.
 func (ti *TableInfo) RefreshIndexes() error {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
 	defs := make([]IndexDef, 0, len(ti.indexes))
 	for _, t := range ti.indexes {
 		def := IndexDef{KeyCols: t.Key.Attrs}
@@ -285,7 +323,7 @@ func (ti *TableInfo) RefreshIndexes() error {
 	// Column stats may have grown (new rows can widen a key domain).
 	ti.refreshColBits()
 	for _, def := range defs {
-		if _, err := ti.BuildIndex(def); err != nil {
+		if _, err := ti.buildIndexLocked(context.Background(), def); err != nil {
 			return err
 		}
 	}
@@ -315,6 +353,8 @@ func (ti *TableInfo) refreshColBits() {
 
 // Indexes lists the canonical names of all built indexes.
 func (ti *TableInfo) Indexes() []string {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
 	names := make([]string, 0, len(ti.indexes))
 	for n := range ti.indexes {
 		names = append(names, n)

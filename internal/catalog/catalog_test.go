@@ -1,6 +1,8 @@
 package catalog
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -317,5 +319,34 @@ func TestIndexUsableInPlan(t *testing.T) {
 	res := core.Extract(out)
 	if len(res.Rows) != 2 || res.Rows[0][0] != 10 || res.Rows[1][0] != 12 {
 		t.Fatalf("selection result = %v", res.Rows)
+	}
+}
+
+// A cancelled context must abort a base-index build mid-scan instead of
+// finishing a full table scan for a client that hung up.
+func TestBuildIndexCtxCancelled(t *testing.T) {
+	c := New()
+	const n = 30000 // enough rows to cross the build's ctx poll interval
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i % 97)
+	}
+	ti, err := c.Load("big", []ColumnData{{Name: "v", Ints: vals}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ti.BuildIndexCtx(ctx, IndexDef{KeyCols: []string{"v"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v, want context.Canceled", err)
+	}
+	// The aborted build must not have cached a partial index; a later
+	// build with a live context succeeds from scratch.
+	idx, err := ti.BuildIndexCtx(context.Background(), IndexDef{KeyCols: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Rows() != n {
+		t.Fatalf("rebuilt index has %d rows, want %d", idx.Rows(), n)
 	}
 }

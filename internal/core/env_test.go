@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestRunCtxCancelMidScan cancels the context deterministically from
+// inside a selection's residual filter: the scan must stop within one
+// abort-poll window and RunCtx must report context.Canceled instead of a
+// partial result.
+func TestRunCtxCancelMidScan(t *testing.T) {
+	const nKeys = 200000
+	idx := NewIndex(IndexConfig{KeyBits: 32})
+	for k := uint64(0); k < nKeys; k++ {
+		idx.Insert(k, nil)
+	}
+	base := NewIndexedTable("big[k]", SimpleKey("k", 32), nil, idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 1000
+	seen := 0
+	plan := &Plan{Root: &Selection{
+		Input: &Base{Table: base},
+		Residual: func([]uint64) bool {
+			seen++
+			if seen == cancelAt {
+				cancel()
+			}
+			return true
+		},
+		Out: OutputSpec{
+			Name:    "out",
+			Key:     SimpleKey("k", 32),
+			KeyRefs: []Ref{{Input: 0, Attr: "k"}},
+		},
+	}}
+	out, _, err := plan.RunCtx(ctx, nil, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx returned err=%v out=%v, want context.Canceled", err, out)
+	}
+	// The abort poll runs every abortTickMask+1 fed combinations; the scan
+	// must not have continued much past the cancellation point.
+	if limit := cancelAt + 2*(abortTickMask+1); seen > limit {
+		t.Errorf("scan visited %d rows after cancelling at %d (limit %d)", seen, cancelAt, limit)
+	}
+}
+
+// TestRunCtxCancelParallel: the same deterministic cancellation under
+// morsel-driven execution — every worker must stop claiming and RunCtx
+// must unwind without deadlocking on the shared pool.
+func TestRunCtxCancelParallel(t *testing.T) {
+	const nKeys = 200000
+	idx := NewIndex(IndexConfig{KeyBits: 32})
+	for k := uint64(0); k < nKeys; k++ {
+		idx.Insert(k, nil)
+	}
+	base := NewIndexedTable("big[k]", SimpleKey("k", 32), nil, idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := &Plan{Root: &Selection{
+		Input: &Base{Table: base},
+		Residual: func([]uint64) bool {
+			cancel() // idempotent; the first combination cancels the query
+			return true
+		},
+		Out: OutputSpec{
+			Name:    "out",
+			Key:     SimpleKey("k", 32),
+			KeyRefs: []Ref{{Input: 0, Attr: "k"}},
+		},
+	}}
+	_, _, err := plan.RunCtx(ctx, nil, Options{Workers: 4, MorselsPerWorker: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel RunCtx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestEnvCrossPlanReuse: two identical plans run back-to-back against one
+// Env must produce bit-identical results, and the second plan's index
+// allocations must be served from the chunks the first plan dropped —
+// the cross-plan steady state the session-scoped recycler exists for.
+func TestEnvCrossPlanReuse(t *testing.T) {
+	f := buildFixture(21)
+	want, _, err := starPlan(f, 2).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := Extract(want).Rows
+
+	env, err := NewEnv(EnvConfig{Recycle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var firstReuse int
+	for pass := 0; pass < 2; pass++ {
+		out, stats, err := starPlan(f, 2).RunCtx(context.Background(), env, Options{CollectStats: true})
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if !reflect.DeepEqual(Extract(out).Rows, wantRows) {
+			t.Fatalf("pass %d: env-run result differs", pass)
+		}
+		if pass == 0 {
+			firstReuse = stats.ChunksReused
+		} else if stats.ChunksReused <= firstReuse {
+			t.Errorf("second plan reused %d chunks, first %d — no cross-plan reuse",
+				stats.ChunksReused, firstReuse)
+		}
+	}
+	if rs := env.RecyclerStats(); rs.Reused == 0 {
+		t.Errorf("env recycler recorded no reuse: %+v", rs)
+	}
+}
+
+// TestEnvSharedSpillDetachesResult: under a shared (env-scoped) spill
+// manager, a plan's intermediates must leave the spill directory with the
+// plan and its result must stay fully usable — including after later
+// plans churn the budget and after Env.Close.
+func TestEnvSharedSpillDetachesResult(t *testing.T) {
+	dir := t.TempDir()
+	env, err := NewEnv(EnvConfig{Recycle: true, MemBudget: 1, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildFixture(22)
+	want, _, err := starPlan(f, 2).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := Extract(want).Rows
+
+	out, stats, err := starPlan(f, 2).RunCtx(context.Background(), env, Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spills == 0 {
+		t.Fatalf("1-byte budget produced no spills: %+v", stats)
+	}
+	// Every spill file of the finished plan — intermediates and result —
+	// must be gone: dropped intermediates delete theirs, the detached
+	// result deletes its own.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	if len(files) > 0 {
+		t.Errorf("spill files left after the plan finished: %v", files)
+	}
+	// Churn the budget with another plan, then close the env; the first
+	// result must stay intact throughout.
+	if _, _, err := starPlan(f, 3).RunCtx(context.Background(), env, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Extract(out).Rows; !reflect.DeepEqual(got, wantRows) {
+		t.Fatal("detached result changed after env churn and Close")
+	}
+}
+
+// TestRunDeprecatedWrapper: the historical one-shot entry point must keep
+// working unchanged on top of RunCtx.
+func TestRunDeprecatedWrapper(t *testing.T) {
+	f := buildFixture(23)
+	a, _, err := starPlan(f, 2).Run(Options{Recycle: true, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := starPlan(f, 2).RunCtx(context.Background(), nil, Options{Recycle: true, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(Extract(a).Rows, Extract(b).Rows) {
+		t.Fatal("Run and RunCtx(nil env) disagree")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -95,11 +96,22 @@ func (o Options) morselsPerWorker() int {
 
 // ExecContext carries execution state for one operator invocation.
 type ExecContext struct {
+	ctx     context.Context // query context; nil means non-cancellable
 	opts    Options
 	sched   *Scheduler
-	rec     *arena.Recycler // plan-scoped chunk pool (nil without Recycle)
+	rec     *arena.Recycler // plan- or session-scoped chunk pool (nil without recycling)
 	mu      sync.Mutex      // guards opStats under intra-operator parallelism
 	opStats *OperatorStats
+}
+
+// err reports the query context's cancellation state (nil when the
+// context cannot be cancelled). Morsel bodies and merge tasks poll it so
+// a cancelled query stops claiming work promptly.
+func (ec *ExecContext) err() error {
+	if ec.ctx == nil {
+		return nil
+	}
+	return ec.ctx.Err()
 }
 
 func (ec *ExecContext) bufferSize() int {
@@ -181,10 +193,14 @@ type PlanStats struct {
 	// fan-out factor (1/1 for serial execution).
 	Workers          int
 	MorselsPerWorker int
-	// MemBudget echoes Options.MemBudget (0 = unlimited); the remaining
-	// fields aggregate the spill manager's activity: freeze/thaw event
-	// counts, the bytes they moved, and the peak tracked residency of
-	// the plan's intermediate indexes.
+	// MemBudget echoes the governing budget (0 = unlimited); the
+	// remaining fields aggregate the spill manager's activity:
+	// freeze/thaw event counts, the bytes they moved, and the peak
+	// tracked residency of the plan's intermediate indexes. Under a
+	// shared (engine-scoped) manager the counters are this plan's deltas
+	// — exact when the plan runs alone, approximate under concurrent
+	// plans — and PeakResident is how much the plan raised the engine's
+	// high-water mark (0 when it stayed under the prior peak).
 	MemBudget    int64
 	Spills       int
 	Restores     int
@@ -246,28 +262,63 @@ type Plan struct {
 	Root Operator
 }
 
-// Run executes the plan and returns the final indexed table (the query
+// Run executes the plan in an ephemeral environment — a private worker
+// pool, recycler and spill manager that live for this one call — and
+// returns the final indexed table (the query result index, already grouped
+// and sorted by its key) plus statistics when requested.
+//
+// Deprecated: Run is the historical one-shot entry point, kept as a thin
+// wrapper. New callers use RunCtx, which adds cancellation and lets a
+// long-lived Env carry the worker pool, chunk pool and spill budget across
+// plans (see qppt.Engine).
+func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
+	return pl.RunCtx(context.Background(), nil, opts)
+}
+
+// RunCtx executes the plan and returns the final indexed table (the query
 // result index, already grouped and sorted by its key) plus statistics
 // when requested.
-func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
+//
+// env supplies the long-lived execution resources. A nil env runs the
+// plan one-shot: pool, recycler and spill manager are created from opts
+// and torn down with the call. A non-nil env shares its worker pool
+// across every plan using it, parks dropped intermediates' chunks in its
+// session recycler (opts.Workers and opts.Recycle are then ignored —
+// those are environment properties), and registers intermediates with its
+// shared spill manager (opts.MemBudget/SpillDir/MmapThaw are ignored when
+// the env carries a manager; a spill-less env honors opts.MemBudget with
+// a plan-private manager). The plan's result is detached from a shared
+// manager before returning, so it stays valid however long it outlives
+// the plan.
+//
+// Cancelling ctx unwinds the plan promptly: morsel loops, merge tasks and
+// operator scans stop at the next batch boundary, waits on spill
+// freeze/thaw transitions return early, pins are released, and — once
+// every in-flight worker has drained — RunCtx returns ctx.Err() with no
+// goroutines, pins or spill files left behind.
+func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTable, *PlanStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	shared := env != nil
+	if !shared {
+		var err error
+		if env, err = ephemeralEnv(opts); err != nil {
+			return nil, nil, err
+		}
+		if env.spill != nil {
+			defer env.spill.Close() // removes spill files; the result is thawed first
+		}
+	}
 	ex := &executor{
+		ctx:   ctx,
 		opts:  opts,
-		sched: NewScheduler(opts.poolWorkers()),
+		sched: env.sched,
+		rec:   env.rec,
 		memo:  make(map[Operator]*memoEntry),
 	}
-	if opts.Recycle {
-		ex.rec = arena.NewRecycler()
-	}
-	if opts.Recycle || opts.MemBudget > 0 {
-		// Consumer counting drives both chunk recycling and the early
-		// deletion of spill files: an intermediate nobody will read again
-		// should neither sit in the chunk pool's way nor keep a snapshot
-		// on disk until the plan ends.
-		ex.uses = make(map[Operator]int)
-		countUses(pl.Root, ex.uses)
-		ex.uses[pl.Root]++ // the caller consumes the result; never drop it
-	}
-	if opts.MemBudget > 0 {
+	ownSpill := env.spill == nil && shared && opts.MemBudget > 0
+	if ownSpill {
 		mgr, err := spill.NewConfig(spill.Config{
 			Budget: opts.MemBudget,
 			Dir:    opts.SpillDir,
@@ -277,47 +328,102 @@ func (pl *Plan) Run(opts Options) (*IndexedTable, *PlanStats, error) {
 			return nil, nil, err
 		}
 		ex.spill = mgr
+		defer mgr.Close()
+	} else {
+		ex.spill = env.spill
+	}
+	if ex.rec != nil || ex.spill != nil {
+		// Consumer counting drives both chunk recycling and the early
+		// deletion of spill files: an intermediate nobody will read again
+		// should neither sit in the chunk pool's way nor keep a snapshot
+		// on disk until the plan ends.
+		ex.uses = make(map[Operator]int)
+		countUses(pl.Root, ex.uses)
+		ex.uses[pl.Root]++ // the caller consumes the result; never drop it
+	}
+	if ex.spill != nil {
 		ex.handles = make(map[*IndexedTable]*spill.Handle)
-		defer mgr.Close() // removes spill files; the result is thawed first
 	}
 	var stats *PlanStats
+	var spill0 spill.Stats
+	var rec0 arena.RecyclerStats
 	if opts.CollectStats {
 		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1, MemBudget: opts.MemBudget}
 		if ex.sched.parallel() {
 			stats.MorselsPerWorker = opts.morselsPerWorker()
 		}
+		if shared {
+			// Shared managers and recyclers accumulate across plans;
+			// report this plan's activity as the counter delta (exact when
+			// the plan runs alone, approximate under concurrent plans).
+			if ex.spill != nil && !ownSpill {
+				spill0 = ex.spill.Stats()
+				stats.MemBudget = ex.spill.Budget()
+			}
+			rec0 = ex.rec.Stats()
+		}
 	}
 	t0 := time.Now()
 	out, err := ex.resolve(pl.Root, stats)
+	if err == nil {
+		err = ctx.Err() // a cancelled plan must not report success
+	}
+	if ex.spill != nil && shared && !ownSpill {
+		// The shared manager outlives this plan: whatever spill state the
+		// plan still owns must leave with it. The result is detached
+		// (thawed, materialized, its file deleted) so it stays valid
+		// indefinitely; on error every remaining handle is dropped.
+		if err == nil {
+			if h := ex.handleOf(out); h != nil {
+				err = h.Detach()
+			}
+		}
+		ex.mu.Lock()
+		leftover := make([]*spill.Handle, 0, len(ex.handles))
+		for t, h := range ex.handles {
+			if err == nil && t == out {
+				continue
+			}
+			leftover = append(leftover, h)
+		}
+		ex.mu.Unlock()
+		for _, h := range leftover {
+			h.Drop()
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	if ex.spill != nil {
+	if ex.spill != nil && (!shared || ownSpill) {
 		// The result index must survive Close: thaw it and stop evicting
 		// it (the pin is never released — the manager is done). Close
 		// materializes any mmap-adopted chunks before unmapping.
 		if h := ex.handleOf(out); h != nil {
-			if err := h.Pin(); err != nil {
+			if err := h.PinCtx(ctx); err != nil {
 				return nil, nil, err
-			}
-		}
-		if stats != nil {
-			ms := ex.spill.Stats()
-			stats.Spills, stats.Restores = ms.Spills, ms.Restores
-			stats.SpillBytes, stats.RestoreBytes = ms.SpillBytes, ms.RestoreBytes
-			stats.RestoreBytesRead = ms.RestoreBytesRead
-			stats.MmapRestores, stats.PartialRestores = ms.MmapRestores, ms.PartialRestores
-			stats.PeakResident = ms.Peak
-			for _, ref := range ex.spillOps {
-				stats.Ops[ref.op].Spills, stats.Ops[ref.op].Restores = ref.h.Counts()
 			}
 		}
 	}
 	if stats != nil {
+		if ex.spill != nil {
+			ms := ex.spill.Stats()
+			stats.Spills, stats.Restores = ms.Spills-spill0.Spills, ms.Restores-spill0.Restores
+			stats.SpillBytes, stats.RestoreBytes = ms.SpillBytes-spill0.SpillBytes, ms.RestoreBytes-spill0.RestoreBytes
+			stats.RestoreBytesRead = ms.RestoreBytesRead - spill0.RestoreBytesRead
+			stats.MmapRestores = ms.MmapRestores - spill0.MmapRestores
+			stats.PartialRestores = ms.PartialRestores - spill0.PartialRestores
+			// Peak is a high-water mark; under a shared manager report how
+			// much this plan raised it (0 = stayed under the engine's
+			// prior peak), consistent with the sibling delta counters.
+			stats.PeakResident = ms.Peak - spill0.Peak
+			for _, ref := range ex.spillOps {
+				stats.Ops[ref.op].Spills, stats.Ops[ref.op].Restores = ref.h.Counts()
+			}
+		}
 		if ex.rec != nil {
 			rs := ex.rec.Stats()
-			stats.ChunksRecycled, stats.ChunksReused = rs.Recycled, rs.Reused
-			stats.RecycleSavedBytes = rs.SavedBytes
+			stats.ChunksRecycled, stats.ChunksReused = rs.Recycled-rec0.Recycled, rs.Reused-rec0.Reused
+			stats.RecycleSavedBytes = rs.SavedBytes - rec0.SavedBytes
 		}
 		stats.Total = time.Since(t0)
 	}
@@ -343,6 +449,7 @@ func countUses(op Operator, uses map[Operator]int) {
 // manager: every non-base operator output is registered for LRU eviction,
 // and inputs are pinned resident around each operator run.
 type executor struct {
+	ctx   context.Context
 	opts  Options
 	sched *Scheduler
 	mu    sync.Mutex
@@ -435,6 +542,10 @@ func (ex *executor) entry(op Operator) *memoEntry {
 func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error) {
 	e := ex.entry(op)
 	e.once.Do(func() {
+		if err := ex.ctx.Err(); err != nil {
+			e.err = err // cancelled: don't start another operator
+			return
+		}
 		children := op.Children()
 		inputs := make([]*IndexedTable, len(children))
 		if ex.sched.parallel() && len(children) > 1 {
@@ -514,9 +625,9 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			for _, r := range order {
 				var err error
 				if r.ranged {
-					err = r.h.PinRange(r.lo, r.hi)
+					err = r.h.PinRangeCtx(ex.ctx, r.lo, r.hi)
 				} else {
-					err = r.h.Pin()
+					err = r.h.PinCtx(ex.ctx)
 				}
 				if err != nil {
 					unpin()
@@ -526,7 +637,7 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 				pinned = append(pinned, r.h)
 			}
 		}
-		ec := &ExecContext{opts: ex.opts, sched: ex.sched, rec: ex.rec}
+		ec := &ExecContext{ctx: ex.ctx, opts: ex.opts, sched: ex.sched, rec: ex.rec}
 		if stats != nil {
 			if _, isBase := op.(*Base); !isBase {
 				e.st = &OperatorStats{Label: op.Label()}
@@ -535,6 +646,11 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 		}
 		t0 := time.Now()
 		e.out, e.err = op.run(ec, inputs)
+		if e.err == nil {
+			// A scan aborted by cancellation can surface a partial output;
+			// never memoize it as a valid result.
+			e.err = ex.ctx.Err()
+		}
 		if e.st != nil && e.err == nil {
 			e.st.Time = time.Since(t0)
 			e.st.MaterializeTime = e.st.Time - e.st.IndexTime

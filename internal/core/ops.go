@@ -138,6 +138,9 @@ func feedScan(p *pipeline, in *IndexedTable, pred KeyPred) {
 	comp := in.Key.Composer()
 	ctx := make([]uint64, p.layout.width)
 	scan := func(k uint64, vals *duplist.List) bool {
+		if p.aborted() {
+			return false // query cancelled; the partial output is discarded
+		}
 		p.layout.fillKey(ctx, 0, k, comp)
 		if len(in.Cols) == 0 {
 			for n := 0; n < vals.Len(); n++ {
@@ -229,6 +232,9 @@ func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, erro
 			}
 		}
 		visit := func(k uint64, lv, rv *duplist.List) bool {
+			if p.aborted() {
+				return false // query cancelled; the partial output is discarded
+			}
 			p.layout.fillKey(ctx, 0, k, lComp)
 			p.layout.fillKey(ctx, 1, k, rComp)
 			// Cross product of the matching content nodes, nested-loop style.
@@ -422,6 +428,9 @@ func (op *UnionDistinct) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedT
 		comp := in.Key.Composer()
 		ctx := make([]uint64, l.width)
 		in.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
+			if p.aborted() {
+				return false // query cancelled; the partial output is discarded
+			}
 			l.fillKey(ctx, 0, k, comp)
 			if len(in.Cols) == 0 {
 				p.snk.feed(ctx, p.bufSize)
@@ -434,6 +443,9 @@ func (op *UnionDistinct) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedT
 			})
 			return true
 		})
+	}
+	if err := ec.err(); err != nil {
+		return nil, err
 	}
 	p.finish()
 	ec.noteSink(p)

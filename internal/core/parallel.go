@@ -190,6 +190,9 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 	pipes := make([]*pipeline, workers)
 	outs := make([]*IndexedTable, workers)
 	err := sched.ForEachWorker(morsels, func(w, m int) error {
+		if err := ec.err(); err != nil {
+			return err // cancelled: stop claiming morsels
+		}
 		mLo, mHi, ok := partitionBounds(lo, hi, m, morsels)
 		if !ok {
 			return nil
@@ -205,6 +208,9 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 			pipes[w] = p
 		}
 		scan(p, mLo, mHi, morsels == 1)
+		if err := ec.err(); err != nil {
+			return err // the scan itself may have been aborted mid-morsel
+		}
 		p.morsels++
 		return nil
 	})
@@ -228,10 +234,13 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 		// the complete output.
 		return partials[0], nil
 	}
-	out := mergePartialsParallel(ec, spec, partials)
+	out, err := mergePartialsParallel(ec, spec, partials)
+	if err != nil {
+		return nil, err
+	}
 	// The per-worker partials are dead the moment the merge re-inserted
-	// their rows (the output owns copies); with a plan recycler their
-	// chunks immediately feed the next allocations instead of the GC.
+	// their rows (the output owns copies); with a recycler their chunks
+	// immediately feed the next allocations instead of the GC.
 	if ec.rec != nil {
 		for _, p := range partials {
 			if rc, ok := p.Idx.(chunkRecycler); ok {
@@ -317,15 +326,16 @@ const parallelMergeMinKeys = 4096
 // to prefix-subtree boundaries like the scan morsels) and merges all
 // partials per range concurrently on the shared pool, producing a
 // range-sharded output index. Disjoint output ranges never touch the same
-// subtree, so the per-range merge tasks need no synchronization.
-func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*IndexedTable) *IndexedTable {
+// subtree, so the per-range merge tasks need no synchronization. The only
+// error a merge task can return is the query context's cancellation.
+func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*IndexedTable) (*IndexedTable, error) {
 	sched := ec.scheduler()
 	total := 0
 	for _, p := range partials {
 		total += p.Idx.Rows()
 	}
 	if !sched.parallel() || total < parallelMergeMinKeys {
-		return mergePartials(spec, partials, ec.rec)
+		return mergePartials(spec, partials, ec.rec), nil
 	}
 	var lo, hi uint64
 	any := false
@@ -344,7 +354,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		any = true
 	}
 	if !any {
-		return mergePartials(spec, partials, ec.rec)
+		return mergePartials(spec, partials, ec.rec), nil
 	}
 	// Two ranges per worker give the claiming loops room to balance ranges
 	// of uneven density without fragmenting the output into many shards.
@@ -359,21 +369,25 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		his = append(his, rHi)
 	}
 	if len(los) < 2 {
-		return mergePartials(spec, partials, ec.rec)
+		return mergePartials(spec, partials, ec.rec), nil
 	}
 	shards := make([]Index, len(los))
-	// ForEachWorker cannot fail here (the body returns nil), so the error
-	// is discarded.
-	_ = sched.ForEachWorker(len(shards), func(_, r int) error {
+	err := sched.ForEachWorker(len(shards), func(_, r int) error {
+		if err := ec.err(); err != nil {
+			return err // cancelled: stop claiming merge ranges
+		}
 		idx := newOutputIndex(spec, ec.rec)
 		mergeRangeInto(idx, spec, partials, los[r], his[r])
 		shards[r] = idx
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Extend the edge shards so the sharded index routes the full key
 	// space, not just the observed interval.
 	los[0] = 0
 	his[len(his)-1] = keySpaceMax(spec.Key.TotalBits())
 	sh := newShardedIndex(shards, los, his, spec.Key.TotalBits())
-	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, sh)
+	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, sh), nil
 }

@@ -291,7 +291,7 @@ func TestMergePartialsParallelMatchesSerial(t *testing.T) {
 		}
 		serial := mergePartials(spec, partials, nil)
 		ec := &ExecContext{opts: Options{Workers: 4}}
-		par := mergePartialsParallel(ec, spec, partials)
+		par, _ := mergePartialsParallel(ec, spec, partials)
 		if _, sharded := par.Idx.(*shardedIndex); !sharded {
 			t.Fatalf("folding=%v: parallel merge did not shard", folding)
 		}
@@ -349,7 +349,7 @@ func TestShardedIndexSemantics(t *testing.T) {
 	}
 	plain := mergePartials(spec, partials, nil)
 	ec := &ExecContext{opts: Options{Workers: 3}}
-	sharded := mergePartialsParallel(ec, spec, partials)
+	sharded, _ := mergePartialsParallel(ec, spec, partials)
 	sh, ok := sharded.Idx.(*shardedIndex)
 	if !ok {
 		t.Fatal("parallel merge did not shard")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -129,6 +130,9 @@ type compiledExpr struct {
 // by ExecContext.noteSink.
 type pipeline struct {
 	layout   ctxLayout
+	qctx     context.Context // query context; scans poll it for cancellation
+	ticks    int             // feed counter driving the periodic ctx poll
+	stopped  bool            // latched once qctx is cancelled
 	rec      *arena.Recycler // plan chunk pool for the output index
 	residual func(ctx []uint64) bool
 	// filters[i], if set, drops combinations entering stage i
@@ -159,7 +163,35 @@ func newPipeline(ec *ExecContext, layout ctxLayout) *pipeline {
 	if bufSize < 1 {
 		bufSize = 1
 	}
-	return &pipeline{layout: layout, bufSize: bufSize, rec: ec.rec}
+	return &pipeline{layout: layout, qctx: ec.ctx, bufSize: bufSize, rec: ec.rec}
+}
+
+// abortTickMask throttles the cancellation poll to one ctx.Err() call per
+// 1024 fed combinations — cheap against the index work per combination,
+// frequent enough that even a serial whole-input scan unwinds within a
+// fraction of a millisecond of cancellation.
+const abortTickMask = 1<<10 - 1
+
+// aborted polls the query context (throttled) and latches its
+// cancellation; scan loops call it per visited key or fed combination and
+// stop early once it reports true. The produced partial output is
+// discarded by the caller — runMorsels re-checks the context after every
+// morsel and surfaces ctx.Err().
+func (p *pipeline) aborted() bool {
+	if p.stopped {
+		return true
+	}
+	if p.qctx == nil {
+		return false
+	}
+	p.ticks++
+	if p.ticks&abortTickMask != 0 {
+		return false
+	}
+	if p.qctx.Err() != nil {
+		p.stopped = true
+	}
+	return p.stopped
 }
 
 // addProbe appends a probe stage for assisting input `input`, probing with

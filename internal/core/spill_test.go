@@ -60,7 +60,7 @@ func TestShardedIndexFreezeThaw(t *testing.T) {
 		partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 	}
 	ec := &ExecContext{opts: Options{Workers: 3}}
-	merged := mergePartialsParallel(ec, spec, partials)
+	merged, _ := mergePartialsParallel(ec, spec, partials)
 	sh, ok := merged.Idx.(*shardedIndex)
 	if !ok {
 		t.Fatal("parallel merge did not shard")
@@ -137,7 +137,7 @@ func TestShardedThawRollsBackOnError(t *testing.T) {
 		partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 	}
 	ec := &ExecContext{opts: Options{Workers: 3}}
-	merged := mergePartialsParallel(ec, spec, partials)
+	merged, _ := mergePartialsParallel(ec, spec, partials)
 	sh, ok := merged.Idx.(*shardedIndex)
 	if !ok {
 		t.Fatal("parallel merge did not shard")

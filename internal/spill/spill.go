@@ -42,6 +42,7 @@ package spill
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -281,7 +282,20 @@ func (m *Manager) Register(label string, obj Freezer, size func() int) *Handle {
 // Pin makes the handle's structure fully resident (thawing it if frozen
 // or partially thawed) and protects it from eviction until the matching
 // Unpin. Pins nest.
-func (h *Handle) Pin() error { return h.pin(0, ^uint64(0), false) }
+func (h *Handle) Pin() error { return h.pin(nil, 0, ^uint64(0), false) }
+
+// PinCtx is Pin with cancellation: a wait for another entry's in-flight
+// freeze/thaw (or for pins to drain before a widening top-up) returns
+// ctx.Err() as soon as the context is cancelled, instead of blocking until
+// the transition completes. I/O already in flight for *this* call runs to
+// completion either way — the spill file stays consistent — but a
+// cancelled query stops queuing behind other entries' transitions.
+func (h *Handle) PinCtx(ctx context.Context) error { return h.pin(ctx, 0, ^uint64(0), false) }
+
+// PinRangeCtx is PinRange with cancellation, like PinCtx.
+func (h *Handle) PinRangeCtx(ctx context.Context, lo, hi uint64) error {
+	return h.pin(ctx, lo, hi, true)
+}
 
 // PinRange is Pin for a consumer that will only query keys in [lo, hi]:
 // if the structure is frozen and supports range thawing, only the chunks
@@ -295,16 +309,38 @@ func (h *Handle) Pin() error { return h.pin(0, ^uint64(0), false) }
 // Pin up front. Re-pinning within the already covered range is always
 // fine. Callers pinning several handles should acquire them in Seq order
 // (see Handle.Seq).
-func (h *Handle) PinRange(lo, hi uint64) error { return h.pin(lo, hi, true) }
+func (h *Handle) PinRange(lo, hi uint64) error { return h.pin(nil, lo, hi, true) }
 
-func (h *Handle) pin(lo, hi uint64, ranged bool) error {
+func (h *Handle) pin(ctx context.Context, lo, hi uint64, ranged bool) error {
 	m := h.m
+	if ctx != nil {
+		// A cancelled context must wake the cond waits below; the waiters
+		// themselves then notice ctx.Err() and bail out.
+		stop := context.AfterFunc(ctx, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer stop()
+	}
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h.lastUse = m.tick()
 	for {
 		for h.state == stFreezing || h.state == stThawing {
+			if err := ctxErr(); err != nil {
+				return err
+			}
 			m.cond.Wait()
+		}
+		if err := ctxErr(); err != nil {
+			return err
 		}
 		if h.dropped {
 			return fmt.Errorf("spill: pin %s: intermediate was dropped", h.label)
@@ -352,8 +388,10 @@ func (h *Handle) Unpin() {
 	m.balanceLocked()
 }
 
-// Drop removes the entry from the managed set: its spill file is deleted
-// and any file mapping unmapped. The executor calls it when the last
+// Drop removes the entry from the managed set: its spill file is deleted,
+// any file mapping unmapped, and the handle forgotten by the manager (a
+// session-scoped manager outlives many plans; retaining every dead plan's
+// handles would grow without bound). The executor calls it when the last
 // consumer of an intermediate is done, *before* recycling the structure's
 // storage: Drop waits out any in-flight freeze/thaw and releases the
 // mapping, after which recycling only ever touches heap chunks (mapped
@@ -382,6 +420,54 @@ func (h *Handle) Drop() {
 	if h.fileValid {
 		os.Remove(h.file)
 		h.fileValid = false
+	}
+	m.forgetLocked(h)
+}
+
+// Detach permanently removes the entry from the managed set while leaving
+// its structure fully resident and self-contained: the structure is thawed
+// if frozen or partial, mmap-adopted chunks are materialized to the heap,
+// the mapping is unmapped and the spill file deleted. A plan running
+// against a session-scoped manager detaches its *result* index this way —
+// the result must outlive the plan, but the manager must not keep
+// budgeting (or re-evicting) an index it can never see consumed again.
+func (h *Handle) Detach() error {
+	if err := h.Pin(); err != nil { // fully resident + transitions drained
+		return err
+	}
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h.pins--
+	if h.dropped {
+		return nil
+	}
+	if h.mapping != nil {
+		if mz, ok := h.obj.(Materializer); ok {
+			mz.Materialize()
+		}
+		munmapFile(h.mapping)
+		h.mapping = nil
+	}
+	if h.fileValid {
+		os.Remove(h.file)
+		h.fileValid = false
+	}
+	m.addResident(-h.bytes)
+	h.dropped = true // never evictable or thawable again; storage is the caller's
+	h.state = stResident
+	m.forgetLocked(h)
+	m.cond.Broadcast()
+	return nil
+}
+
+// forgetLocked removes a handle from the managed slice.
+func (m *Manager) forgetLocked(h *Handle) {
+	for i, other := range m.all {
+		if other == h {
+			m.all = append(m.all[:i], m.all[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -423,9 +509,16 @@ func (m *Manager) Stats() Stats {
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, h := range m.all {
+	// Snapshot the managed set: waiting out a transition releases the
+	// lock, and a still-unwinding plan may Drop/Detach handles meanwhile —
+	// which mutates m.all in place and would corrupt a live range over it.
+	all := append([]*Handle(nil), m.all...)
+	for _, h := range all {
 		for h.state == stFreezing || h.state == stThawing {
 			m.cond.Wait()
+		}
+		if h.dropped {
+			continue // left the set while we waited; Drop/Detach cleaned up
 		}
 		if h.mapping != nil {
 			if mz, ok := h.obj.(Materializer); ok && h.state == stResident {
@@ -439,7 +532,7 @@ func (m *Manager) Close() error {
 	if m.ownDir {
 		firstErr = os.RemoveAll(m.dir)
 	} else {
-		for _, h := range m.all {
+		for _, h := range all {
 			if h.fileValid {
 				if err := os.Remove(h.file); err != nil && firstErr == nil {
 					firstErr = err

@@ -407,3 +407,66 @@ func TestHandleDrop(t *testing.T) {
 		t.Fatalf("spill count lost after drop: %d", s)
 	}
 }
+
+// Detach must pull an entry out of the managed set with its structure
+// fully resident and its spill state gone — the shared-manager path for a
+// plan's result index.
+func TestHandleDetach(t *testing.T) {
+	m, err := New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	fi := newFakeIndex(64, 7)
+	h := m.Register("result", fi, fi.Bytes)
+	if !h.Frozen() {
+		t.Fatal("1-byte budget did not freeze the entry")
+	}
+	file := h.file
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	fi.verify(t, 64, 7) // thawed and usable without any pin
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Fatalf("spill file survived detach: %v", err)
+	}
+	if got := m.Stats().Resident; got != 0 {
+		t.Fatalf("detached entry still tracked: resident=%d", got)
+	}
+	// The manager no longer owns the entry: registering more load must
+	// not re-evict it (nothing to evict — it left the set), and Close
+	// must not touch its storage.
+	other := newFakeIndex(64, 9)
+	m.Register("other", other, other.Bytes)
+	fi.verify(t, 64, 7)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi.verify(t, 64, 7)
+}
+
+// Dropped and detached handles must leave the managed slice — a
+// session-lifetime manager would otherwise accumulate one dead handle per
+// intermediate per query forever.
+func TestDropForgetsHandle(t *testing.T) {
+	m, err := New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 10; i++ {
+		fi := newFakeIndex(4, uint32(i))
+		h := m.Register(fmt.Sprintf("e%d", i), fi, fi.Bytes)
+		if i%2 == 0 {
+			h.Drop()
+		} else if err := h.Detach(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.mu.Lock()
+	n := len(m.all)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d dead handles retained by the manager", n)
+	}
+}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 
 	"qppt/internal/catalog"
@@ -9,6 +10,7 @@ import (
 
 // builder turns the analyzed statement into a physical QPPT plan.
 type builder struct {
+	ctx         context.Context // cancels the base-index builds planning triggers
 	p           *Planner
 	stmt        *SelectStmt
 	opt         Options
@@ -63,7 +65,7 @@ func (b *builder) dimIndex(d *dimInfo) (*core.IndexedTable, Cond, []Cond, error)
 	if b.record != nil {
 		b.record(d.table, def)
 	}
-	idx, err := d.ti.BuildIndex(def)
+	idx, err := d.ti.BuildIndexCtx(b.ctx, def)
 	if err != nil {
 		return nil, Cond{}, nil, err
 	}
@@ -128,7 +130,7 @@ func (b *builder) factIndex(main *dimInfo) (*core.IndexedTable, error) {
 	if b.record != nil {
 		b.record(b.factName, def)
 	}
-	return b.fact.BuildIndex(def)
+	return b.fact.BuildIndexCtx(b.ctx, def)
 }
 
 // buildStar assembles the star-join plan.
@@ -270,7 +272,7 @@ func (b *builder) buildSingleTable() (*Statement, error) {
 	if b.record != nil {
 		b.record(b.factName, def)
 	}
-	idx, err := b.fact.BuildIndex(def)
+	idx, err := b.fact.BuildIndexCtx(b.ctx, def)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -238,13 +239,28 @@ func (b *builder) finish(plan *core.Plan) (*Statement, error) {
 	return s, nil
 }
 
-// Run executes the statement on the options it was planned with: the plan
-// allocates a shared worker pool of Options.Exec.Workers goroutines
-// (serial when unset) and, when requested via Options.Exec.CollectStats,
-// returns per-operator statistics including the worker/morsel counts each
-// operator executed with.
+// Run executes the statement one-shot on the options it was planned with:
+// the plan allocates a private worker pool of Options.Exec.Workers
+// goroutines (serial when unset) and, when requested via
+// Options.Exec.CollectStats, returns per-operator statistics including the
+// worker/morsel counts each operator executed with.
 func (s *Statement) Run() (*Rows, *core.PlanStats, error) {
-	out, stats, err := s.Plan.Run(s.opts.Exec)
+	return s.RunCtx(context.Background(), nil)
+}
+
+// RunCtx executes the statement with cancellation, against a long-lived
+// execution environment when env is non-nil (the environment's worker
+// pool, chunk recycler and spill budget then serve the query — see
+// core.Plan.RunCtx) and one-shot otherwise.
+func (s *Statement) RunCtx(ctx context.Context, env *core.Env) (*Rows, *core.PlanStats, error) {
+	return s.RunExec(ctx, env, s.opts.Exec)
+}
+
+// RunExec is RunCtx with the execution options overridden per run — the
+// hook engine sessions use to apply per-query knobs (statistics, buffer
+// size, morsel fan-out) to a statement prepared once.
+func (s *Statement) RunExec(ctx context.Context, env *core.Env, exec core.Options) (*Rows, *core.PlanStats, error) {
+	out, stats, err := s.Plan.RunCtx(ctx, env, exec)
 	if err != nil {
 		return nil, nil, err
 	}

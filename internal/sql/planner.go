@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,11 +62,19 @@ func (r *Rows) Decode(row, col int) string {
 
 // PlanSQL parses and plans a query in one step.
 func (p *Planner) PlanSQL(src string, opt Options) (*Statement, error) {
+	return p.PlanSQLCtx(context.Background(), src, opt)
+}
+
+// PlanSQLCtx is PlanSQL with cancellation. Planning provisions the base
+// indexes the physical plan needs — full table scans on a cold catalog —
+// and a cancelled ctx aborts those builds instead of finishing them for
+// a client that already hung up.
+func (p *Planner) PlanSQLCtx(ctx context.Context, src string, opt Options) (*Statement, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return p.Plan(stmt, opt)
+	return p.plan(ctx, stmt, opt, nil)
 }
 
 // dimInfo gathers everything the planner knows about one joined dimension.
@@ -82,7 +91,7 @@ type dimInfo struct {
 
 // Plan compiles a parsed statement.
 func (p *Planner) Plan(stmt *SelectStmt, opt Options) (*Statement, error) {
-	return p.plan(stmt, opt, nil)
+	return p.plan(context.Background(), stmt, opt, nil)
 }
 
 // An IndexRecommendation names one base index a workload needs, with the
@@ -106,7 +115,7 @@ func (p *Planner) Advise(stmts []string, opt Options) ([]IndexRecommendation, er
 		if err != nil {
 			return nil, fmt.Errorf("sql: statement %d: %w", qi, err)
 		}
-		_, err = p.plan(stmt, opt, func(table string, def catalog.IndexDef) {
+		_, err = p.plan(context.Background(), stmt, opt, func(table string, def catalog.IndexDef) {
 			name := def.IndexName(table)
 			at, ok := seen[name]
 			if !ok {
@@ -127,8 +136,9 @@ func (p *Planner) Advise(stmts []string, opt Options) ([]IndexRecommendation, er
 }
 
 // plan compiles a parsed statement, reporting every base index it needs
-// through record (when non-nil).
-func (p *Planner) plan(stmt *SelectStmt, opt Options, record func(string, catalog.IndexDef)) (*Statement, error) {
+// through record (when non-nil). ctx cancels the base-index builds
+// planning triggers.
+func (p *Planner) plan(ctx context.Context, stmt *SelectStmt, opt Options, record func(string, catalog.IndexDef)) (*Statement, error) {
 	tis := make(map[string]*catalog.TableInfo, len(stmt.Tables))
 	for _, t := range stmt.Tables {
 		ti := p.cat.Table(t)
@@ -289,7 +299,7 @@ func (p *Planner) plan(stmt *SelectStmt, opt Options, record func(string, catalo
 		}
 	}
 
-	b := &builder{p: p, stmt: stmt, opt: opt, record: record, fact: factTi, factName: fact,
+	b := &builder{ctx: ctx, p: p, stmt: stmt, opt: opt, record: record, fact: factTi, factName: fact,
 		dims: dimList, restr: restr, factCarries: factCarries,
 		groupOwner: groupOwner, aggNames: aggNames, aggExprs: aggExprs, tis: tis}
 	return b.build()

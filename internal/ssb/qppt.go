@@ -1,6 +1,7 @@
 package ssb
 
 import (
+	"context"
 	"fmt"
 
 	"qppt/internal/catalog"
@@ -84,14 +85,24 @@ func (ds *Dataset) BuildPlan(qid string, opt PlanOptions) (*core.Plan, error) {
 	return nil, fmt.Errorf("ssb: unknown query %q", qid)
 }
 
-// RunQPPT builds and executes the QPPT plan for a query, returning the
-// normalized result and, when requested, the per-operator statistics.
+// RunQPPT builds and executes the QPPT plan for a query one-shot,
+// returning the normalized result and, when requested, the per-operator
+// statistics.
 func (ds *Dataset) RunQPPT(qid string, opt PlanOptions) (*QueryResult, *core.PlanStats, error) {
+	return ds.RunQPPTCtx(context.Background(), qid, opt, nil)
+}
+
+// RunQPPTCtx is RunQPPT with cancellation and an optional long-lived
+// execution environment: with a non-nil env the query runs on the
+// environment's shared worker pool, recycles dropped intermediates into
+// its session chunk pool, and spills under its cross-plan memory budget
+// (see core.Plan.RunCtx).
+func (ds *Dataset) RunQPPTCtx(ctx context.Context, qid string, opt PlanOptions, env *core.Env) (*QueryResult, *core.PlanStats, error) {
 	plan, err := ds.BuildPlan(qid, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, stats, err := plan.Run(opt.Exec)
+	out, stats, err := plan.RunCtx(ctx, env, opt.Exec)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,124 @@
+package qppt
+
+import (
+	"context"
+
+	"qppt/internal/core"
+	"qppt/internal/sql"
+)
+
+// A Session is the per-client handle on an Engine: it plans SQL against
+// one catalog and runs the plans on the engine's shared resources. A
+// Session carries no mutable state of its own and is safe for concurrent
+// use.
+type Session struct {
+	eng     *Engine
+	planner *sql.Planner
+}
+
+// Conn is a Session: the name database drivers use for the same handle.
+type Conn = Session
+
+// Engine returns the engine the session runs on.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Query parses, plans and executes one SQL statement. The returned rows
+// are materialized and fully owned by the caller; cancelling ctx unwinds
+// the execution promptly and returns ctx.Err().
+func (s *Session) Query(ctx context.Context, text string, opts ...QueryOption) (*sql.Rows, *core.PlanStats, error) {
+	stmt, err := s.Prepare(ctx, text, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stmt.Run(ctx)
+}
+
+// Prepare parses and plans a statement for repeated execution. Planning
+// pins the physical plan — including the base indexes it provisions in
+// the catalog, which on a cold catalog means full table scans; ctx
+// cancels those builds too — so Stmt.Run pays only execution. Per-query
+// options given here become the statement's defaults; Run can override
+// them again.
+func (s *Session) Prepare(ctx context.Context, text string, opts ...QueryOption) (*Stmt, error) {
+	if err := s.eng.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := queryConfig{exec: s.eng.execOptions(nil)}
+	for _, o := range opts {
+		o(&q)
+	}
+	stmt, err := s.planner.PlanSQLCtx(ctx, text, sql.Options{
+		UseSelectJoin: !q.noSelectJoin,
+		Exec:          q.exec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, stmt: stmt, base: q}, nil
+}
+
+// A Stmt is a prepared statement bound to its session's engine.
+type Stmt struct {
+	sess *Session
+	stmt *sql.Statement
+	base queryConfig
+}
+
+// Attrs returns the output attribute names in SELECT-item order.
+func (st *Stmt) Attrs() []string { return st.stmt.Attrs }
+
+// Run executes the prepared statement. Options passed here override the
+// statement's defaults for this run only.
+func (st *Stmt) Run(ctx context.Context, opts ...QueryOption) (*sql.Rows, *core.PlanStats, error) {
+	eng := st.sess.eng
+	if err := eng.begin(); err != nil {
+		return nil, nil, err
+	}
+	defer eng.end()
+	q := st.base
+	for _, o := range opts {
+		o(&q)
+	}
+	eng.queries.Add(1)
+	return st.stmt.RunExec(ctx, eng.env, q.exec)
+}
+
+// queryConfig accumulates the per-query knobs QueryOptions set.
+type queryConfig struct {
+	exec         core.Options
+	noSelectJoin bool
+}
+
+// A QueryOption overrides one execution knob for a single query (or, on
+// Prepare, for every run of the statement). Engine-level resources — the
+// worker pool, the chunk pool, the spill budget — are not per-query knobs
+// and have no options here.
+type QueryOption func(*queryConfig)
+
+// WithStats collects per-operator execution statistics for the query.
+func WithStats() QueryOption {
+	return func(q *queryConfig) { q.exec.CollectStats = true }
+}
+
+// WithBufferSize overrides the joinbuffer/selectionbuffer size (1
+// disables batching).
+func WithBufferSize(n int) QueryOption {
+	return func(q *queryConfig) { q.exec.BufferSize = n }
+}
+
+// WithMorselsPerWorker overrides the morsel fan-out factor of parallel
+// operators.
+func WithMorselsPerWorker(n int) QueryOption {
+	return func(q *queryConfig) { q.exec.MorselsPerWorker = n }
+}
+
+// WithoutSelectJoin plans selections as separate operators instead of
+// fusing the most selective one into the successive join — the paper's
+// Figure 8 ablation, exposed for plan inspection. Only meaningful on
+// Prepare/Query (it is a planning decision, not an execution one).
+func WithoutSelectJoin() QueryOption {
+	return func(q *queryConfig) { q.noSelectJoin = true }
+}

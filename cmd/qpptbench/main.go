@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|engine|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|fusion|engine|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
 //	          [-workers N] [-morsels M] [-buffer B] [-membudget 256MiB]
 //	          [-recycle] [-mmapthaw]
@@ -22,7 +22,11 @@
 // -mmapthaw enable the plan-scoped chunk recycler and the zero-copy mmap
 // restore for the QPPT engine rows (and are recorded in the config
 // labels); -fig memlife runs the dedicated memory-lifecycle ablation
-// (allocs, GC pause, thaw bytes read) across those configurations.
+// (allocs, GC pause, thaw bytes read) across those configurations;
+// -fig fusion compares fused and materialized execution of the suite on
+// the decomposed plans (fused-edge counts, streamed combinations, and a
+// bit-identity check per query). -nofuse turns pipeline fusion off for
+// every other figure's QPPT rows.
 //
 // -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
 // shared worker pool of that size (morsel-driven parallelism); -morsels
@@ -73,6 +77,7 @@ type benchSnapshot struct {
 	// snapshots verbatim, so appending never rewrites recorded history.
 	Layout  json.RawMessage    `json:"layout,omitempty"`
 	MemLife []bench.MemLifeRow `json:"memlife,omitempty"`
+	Fusion  []bench.FusionRow  `json:"fusion,omitempty"`
 }
 
 // benchHistory is the BENCH_qppt.json layout: snapshots in append order.
@@ -111,7 +116,7 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, engine, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, fusion, engine, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
@@ -312,6 +317,19 @@ func main() {
 		}
 		fmt.Println()
 		snap.MemLife = rows
+	}
+	if wants("fusion") {
+		fmt.Println("=== Ablation: pipeline fusion vs materialized intermediates (decomposed plans) over the SSB suite [ms] ===")
+		rows, err := bench.AblationFusion(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("  Q%-4s fused %8.1f ms  materialized %8.1f ms  %d indexes skipped  %9d combinations streamed  identical=%v\n",
+				r.Query, r.FusedMillis, r.UnfusedMillis, r.FusedEdges, r.TuplesStreamed, r.Identical)
+		}
+		fmt.Println()
+		snap.Fusion = rows
 	}
 	if *benchjson != "" {
 		if err := appendSnapshot(*benchjson, snap); err != nil {

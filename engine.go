@@ -69,6 +69,10 @@ type Config struct {
 	// trim evictions in Stats. 0 means DefaultRecycleCap; negative means
 	// unbounded.
 	RecycleCap int64
+	// DisableFusion turns off pipeline fusion engine-wide: every
+	// single-consumer intermediate index is materialized as in the paper's
+	// decomposed-plan model. Per-query, WithoutFusion does the same.
+	DisableFusion bool
 }
 
 // ErrEngineClosed is returned by every query entry point after Close.
@@ -231,6 +235,7 @@ func (e *Engine) execOptions(opts []QueryOption) core.Options {
 	q := queryConfig{exec: core.Options{
 		BufferSize:       e.cfg.BufferSize,
 		MorselsPerWorker: e.cfg.MorselsPerWorker,
+		NoFuse:           e.cfg.DisableFusion,
 	}}
 	for _, o := range opts {
 		o(&q)

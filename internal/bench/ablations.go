@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"runtime"
 
 	"qppt/internal/core"
@@ -236,6 +237,13 @@ func AblationMemLifecycle(ds *ssb.Dataset, reps int) ([]MemLifeRow, error) {
 		{"spill-all+mmap", core.Options{MemBudget: 1, MmapThaw: true}},
 		{"spill-all+mmap+recycle", core.Options{MemBudget: 1, MmapThaw: true, Recycle: true}},
 	}
+	for i := range cfgs {
+		// The lifecycle under measurement is allocate → spill → thaw →
+		// recycle of the intermediate indexes; fusion would skip building
+		// the very intermediates the configurations differ on (the fused
+		// path has its own ablation, AblationFusion).
+		cfgs[i].exec.NoFuse = true
+	}
 	var out []MemLifeRow
 	for _, c := range cfgs {
 		var err error
@@ -274,6 +282,89 @@ func AblationMemLifecycle(ds *ssb.Dataset, reps int) ([]MemLifeRow, error) {
 			ThawBytesRead: thawRead,
 			ChunksReused:  reused,
 			SavedBytes:    saved,
+		})
+	}
+	return out, nil
+}
+
+// A FusionRow is one SSB query of the pipeline-fusion ablation: the query
+// run with fusion on and off, with the fused-path counters and a
+// bit-identity check against the materialized result.
+type FusionRow struct {
+	Query          string  `json:"query"`
+	FusedMillis    float64 `json:"fusedMillis"`    // fusion on, best of reps
+	UnfusedMillis  float64 `json:"unfusedMillis"`  // fusion off (every edge materialized)
+	FusedEdges     int     `json:"fusedEdges"`     // intermediate indexes skipped
+	TuplesStreamed int     `json:"tuplesStreamed"` // combinations forwarded instead of indexed
+	Identical      bool    `json:"identical"`      // fused rows == materialized rows
+}
+
+// AblationFusion compares fused and materialized execution of the whole
+// SSB suite on the decomposed (plain, no select-join) plans — the shape
+// where every query carries at least one single-consumer selection→join
+// edge, so fusion applies to all thirteen queries. Each row records both
+// timings, how many intermediate indexes fusion skipped, how many
+// combinations streamed through the fused pipelines instead of being
+// indexed, and whether the fused result was bit-identical to the
+// materialized one.
+func AblationFusion(ds *ssb.Dataset, reps int) ([]FusionRow, error) {
+	var out []FusionRow
+	for _, qid := range ssb.QueryIDs {
+		// Zero-value PlanOptions is the decomposed plan shape
+		// (UseSelectJoin false); only Exec.NoFuse varies between the rows.
+		run := func(exec core.Options) (rows [][]uint64, stats *core.PlanStats, err error) {
+			r, st, e := ds.RunQPPT(qid, ssb.PlanOptions{Exec: exec})
+			if e != nil {
+				return nil, nil, fmt.Errorf("bench: Q%s (%+v): %w", qid, exec, e)
+			}
+			return r.Rows, st, nil
+		}
+		// The decomposed plan shape provisions its own base indexes
+		// lazily; warm them outside the timed region so the first
+		// configuration measured does not pay the builds.
+		if _, _, err := run(core.Options{}); err != nil {
+			return nil, err
+		}
+		var err error
+		fusedMs, _ := timeIt(reps, func() int {
+			r, _, e := run(core.Options{})
+			if e != nil {
+				err = e
+				return 0
+			}
+			return len(r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		unfusedMs, _ := timeIt(reps, func() int {
+			r, _, e := run(core.Options{NoFuse: true})
+			if e != nil {
+				err = e
+				return 0
+			}
+			return len(r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// One stats pass supplies the fused counters and the identity check.
+		fused, stats, err := run(core.Options{CollectStats: true})
+		if err != nil {
+			return nil, err
+		}
+		materialized, _, err := run(core.Options{NoFuse: true})
+		if err != nil {
+			return nil, err
+		}
+		streamed := 0
+		for _, op := range stats.Ops {
+			streamed += op.TuplesStreamed
+		}
+		out = append(out, FusionRow{
+			Query: qid, FusedMillis: fusedMs, UnfusedMillis: unfusedMs,
+			FusedEdges: stats.FusedEdges, TuplesStreamed: streamed,
+			Identical: reflect.DeepEqual(fused, materialized),
 		})
 	}
 	return out, nil

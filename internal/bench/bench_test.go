@@ -131,6 +131,44 @@ func TestAblationHarness(t *testing.T) {
 	}
 }
 
+// The fusion ablation must produce one row per SSB query, every fused
+// result bit-identical to the materialized one, and the fused-edge
+// counter moving on well over half the decomposed suite.
+func TestFusionAblationHarness(t *testing.T) {
+	ds := ssb.MustLoad(ssb.GenConfig{SF: 0.005, Seed: 7})
+	if err := WarmupQueries(ds); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblationFusion(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("fusion ablation has %d rows, want 13", len(rows))
+	}
+	fused, streamed := 0, 0
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("Q%s: fused result not identical to materialized", r.Query)
+		}
+		if r.FusedMillis <= 0 || r.UnfusedMillis <= 0 {
+			t.Errorf("Q%s: non-positive timing %+v", r.Query, r)
+		}
+		if r.FusedEdges > 0 {
+			fused++
+		}
+		streamed += r.TuplesStreamed
+	}
+	if fused < 8 {
+		t.Fatalf("only %d of 13 queries fused any edge, want >= 8", fused)
+	}
+	// A fused edge on an empty selection legitimately streams nothing
+	// (tiny scale factors), but the suite as a whole must stream.
+	if streamed == 0 {
+		t.Fatal("no query streamed any combinations through a fused edge")
+	}
+}
+
 // The memory-lifecycle ablation must produce one row per configuration
 // with the recycler and restore-path counters actually moving where the
 // configuration enables them.

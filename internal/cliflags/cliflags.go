@@ -24,6 +24,7 @@ type Exec struct {
 	Recycle    bool
 	NoRecycle  bool
 	MmapThaw   bool
+	NoFuse     bool
 }
 
 // Register declares the shared flags on fs (use flag.CommandLine for the
@@ -38,6 +39,7 @@ func Register(fs *flag.FlagSet) *Exec {
 	fs.BoolVar(&e.NoRecycle, "norecycle", false, "disable the engine's cross-plan chunk recycler (on by default in engine mode)")
 	fs.StringVar(&e.RecycleCap, "recyclecap", "", "byte cap on the engine chunk pool (e.g. 256MiB); empty = engine default")
 	fs.BoolVar(&e.MmapThaw, "mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
+	fs.BoolVar(&e.NoFuse, "nofuse", false, "disable pipeline fusion: materialize every single-consumer intermediate index (fusion is on by default)")
 	return e
 }
 
@@ -71,6 +73,7 @@ func (e *Exec) ExecOptions() (core.Options, error) {
 		MemBudget:        budget,
 		Recycle:          e.Recycle,
 		MmapThaw:         e.MmapThaw,
+		NoFuse:           e.NoFuse,
 	}, nil
 }
 
@@ -91,6 +94,7 @@ func (e *Exec) EngineConfig() (qppt.Config, error) {
 		MemBudget:        budget,
 		MmapThaw:         e.MmapThaw,
 		DisableRecycle:   e.NoRecycle,
+		DisableFusion:    e.NoFuse,
 	}
 	cap, err := e.RecycleCapBytes()
 	if err != nil {

@@ -69,6 +69,15 @@ type Options struct {
 	MmapThaw bool
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
+	// NoFuse disables pipeline fusion. By default the executor detects
+	// single-consumer plan edges whose intermediate index would be built,
+	// scanned once by a streaming consumer and dropped, and executes each
+	// such operator chain as one stage: combinations flow straight from
+	// the producer's pipeline into the consumer's, and only the chain's
+	// top operator materializes an output index (fuse.go). Results are
+	// identical either way, up to the intra-key duplicate row order of
+	// non-folding outputs — the same caveat as Workers > 1.
+	NoFuse bool
 }
 
 // poolWorkers resolves Workers into the pool size the scheduler uses.
@@ -99,9 +108,35 @@ type ExecContext struct {
 	ctx     context.Context // query context; nil means non-cancellable
 	opts    Options
 	sched   *Scheduler
-	rec     *arena.Recycler // plan- or session-scoped chunk pool (nil without recycling)
-	mu      sync.Mutex      // guards opStats under intra-operator parallelism
+	rec     *arena.Recycler   // plan- or session-scoped chunk pool (nil without recycling)
+	wrecs   []*arena.Recycler // worker-local child pools, indexed by pool worker (nil without parallel recycling)
+	spill   *spill.Manager    // plan/engine spill manager (nil without a memory budget)
+	mu      sync.Mutex        // guards opStats under intra-operator parallelism
 	opStats *OperatorStats
+}
+
+// workerRec returns pool worker w's local chunk pool, falling back to the
+// shared plan pool when worker-local pools are not active. Partials built
+// from a worker-local pool recycle through it without touching the shared
+// pool's lock, keeping the worker's chunk traffic cache-warm.
+func (ec *ExecContext) workerRec(w int) *arena.Recycler {
+	if w >= 0 && w < len(ec.wrecs) && ec.wrecs[w] != nil {
+		return ec.wrecs[w]
+	}
+	return ec.rec
+}
+
+// noteSpill folds freeze/thaw events of operator-owned transient state
+// (the registered worker partials of a large merge) into the operator
+// statistics.
+func (ec *ExecContext) noteSpill(spills, restores int) {
+	if ec.opStats == nil || (spills == 0 && restores == 0) {
+		return
+	}
+	ec.mu.Lock()
+	ec.opStats.Spills += spills
+	ec.opStats.Restores += restores
+	ec.mu.Unlock()
 }
 
 // err reports the query context's cancellation state (nil when the
@@ -145,7 +180,13 @@ func (ec *ExecContext) noteSink(p *pipeline) {
 	}
 	ec.mu.Lock()
 	ec.opStats.IndexTime += p.snk.insertTime
-	ec.opStats.TuplesIndexed += p.snk.inserted
+	if p.snk.forward != nil {
+		// A forwarding sink (fused edge) streams its combinations to the
+		// consumer instead of indexing them.
+		ec.opStats.TuplesStreamed += p.snk.inserted
+	} else {
+		ec.opStats.TuplesIndexed += p.snk.inserted
+	}
 	ec.opStats.ProbeLookups += p.lookups
 	ec.opStats.Workers++
 	ec.opStats.Morsels += p.morsels
@@ -168,6 +209,12 @@ type OperatorStats struct {
 	// lookups issued through the joinbuffer.
 	TuplesIndexed int
 	ProbeLookups  int
+	// Fused marks an operator that ran as a non-top link of a fused
+	// chain: its output index was never built, and TuplesStreamed counts
+	// the combinations it streamed into its consumer instead. For such
+	// operators TuplesIndexed, IndexTime and the Out* fields are zero.
+	Fused          bool
+	TuplesStreamed int
 	// Workers is the number of pool workers that contributed a partial
 	// output; Morsels the number of key-range morsels they processed
 	// (1/1 for serial execution).
@@ -221,6 +268,10 @@ type PlanStats struct {
 	ChunksRecycled    int
 	ChunksReused      int
 	RecycleSavedBytes int64
+	// FusedEdges counts the single-consumer plan edges executed as fused
+	// streams — each is one intermediate index the plan never built
+	// (0 under Options.NoFuse).
+	FusedEdges int
 }
 
 func (ps *PlanStats) String() string {
@@ -242,7 +293,15 @@ func (ps *PlanStats) String() string {
 		s += fmt.Sprintf("recycler: %d chunks parked, %d reused (%s of allocation avoided)\n",
 			ps.ChunksRecycled, ps.ChunksReused, spill.FormatBytes(ps.RecycleSavedBytes))
 	}
+	if ps.FusedEdges > 0 {
+		s += fmt.Sprintf("fusion: %d intermediate indexes skipped\n", ps.FusedEdges)
+	}
 	for _, op := range ps.Ops {
+		if op.Fused {
+			s += fmt.Sprintf("  %-24s %10v  fused: %d combinations streamed\n",
+				op.Label+" ⇒", op.Time.Round(time.Microsecond), op.TuplesStreamed)
+			continue
+		}
 		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B",
 			op.Label, op.Time.Round(time.Microsecond), op.IndexTime.Round(time.Microsecond),
 			op.OutRows, op.OutKeys, op.OutBytes)
@@ -332,17 +391,31 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 	} else {
 		ex.spill = env.spill
 	}
-	if ex.rec != nil || ex.spill != nil {
-		// Consumer counting drives both chunk recycling and the early
-		// deletion of spill files: an intermediate nobody will read again
+	if ex.rec != nil || ex.spill != nil || !opts.NoFuse {
+		// Consumer counting drives chunk recycling, the early deletion of
+		// spill files, and fusion: an intermediate nobody will read again
 		// should neither sit in the chunk pool's way nor keep a snapshot
-		// on disk until the plan ends.
+		// on disk until the plan ends — and one that exactly one streaming
+		// consumer will read should not be built at all.
 		ex.uses = make(map[Operator]int)
 		countUses(pl.Root, ex.uses)
 		ex.uses[pl.Root]++ // the caller consumes the result; never drop it
 	}
+	if !opts.NoFuse {
+		ex.chains = buildChains(pl.Root, ex.uses)
+	}
 	if ex.spill != nil {
 		ex.handles = make(map[*IndexedTable]*spill.Handle)
+		ex.doneOut = make(map[Operator]*IndexedTable)
+	}
+	if ex.rec != nil && ex.sched.parallel() {
+		// Worker-local chunk pools: each pool worker recycles its partial
+		// indexes through a private child pool, drained back into the
+		// shared pool when the plan finishes.
+		ex.wrecs = make([]*arena.Recycler, ex.sched.Workers())
+		for i := range ex.wrecs {
+			ex.wrecs[i] = ex.rec.Local()
+		}
 	}
 	var stats *PlanStats
 	var spill0 spill.Stats
@@ -367,6 +440,9 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 	out, err := ex.resolve(pl.Root, stats)
 	if err == nil {
 		err = ctx.Err() // a cancelled plan must not report success
+	}
+	for _, wr := range ex.wrecs {
+		wr.Drain() // fold the worker-local pools back into the shared pool
 	}
 	if ex.spill != nil && shared && !ownSpill {
 		// The shared manager outlives this plan: whatever spill state the
@@ -417,7 +493,11 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 			// prior peak), consistent with the sibling delta counters.
 			stats.PeakResident = ms.Peak - spill0.Peak
 			for _, ref := range ex.spillOps {
-				stats.Ops[ref.op].Spills, stats.Ops[ref.op].Restores = ref.h.Counts()
+				// Add (not assign): merge-partial freeze/thaw traffic is
+				// already folded in through noteSpill.
+				s, r := ref.h.Counts()
+				stats.Ops[ref.op].Spills += s
+				stats.Ops[ref.op].Restores += r
 			}
 		}
 		if ex.rec != nil {
@@ -425,6 +505,7 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 			stats.ChunksRecycled, stats.ChunksReused = rs.Recycled-rec0.Recycled, rs.Reused-rec0.Reused
 			stats.RecycleSavedBytes = rs.SavedBytes - rec0.SavedBytes
 		}
+		stats.FusedEdges = ex.fusedEdges
 		stats.Total = time.Since(t0)
 	}
 	return out, stats, nil
@@ -457,13 +538,62 @@ type executor struct {
 
 	// rec and uses implement plan-scoped chunk recycling (Options.Recycle):
 	// uses holds the remaining consumer count per operator output, and rec
-	// receives the chunks of outputs whose count reaches zero.
-	rec  *arena.Recycler
-	uses map[Operator]int
+	// receives the chunks of outputs whose count reaches zero. wrecs are
+	// the worker-local child pools (one per pool worker) that front rec
+	// under parallel execution; they are drained back when the plan ends.
+	rec   *arena.Recycler
+	wrecs []*arena.Recycler
+	uses  map[Operator]int
+
+	// chains maps each fused chain's top operator to the chain (fuse.go);
+	// fusedEdges counts the edges executed as streams.
+	chains     map[Operator]*fuseChain
+	fusedEdges int
 
 	spill    *spill.Manager
 	handles  map[*IndexedTable]*spill.Handle // intermediate table → spill handle
+	doneOut  map[Operator]*IndexedTable      // resolved outputs, for locality-aware task ordering
 	spillOps []spillOpRef
+}
+
+// frostScore counts how many of op's already-resolved inputs are frozen
+// on disk: the thaw cost a worker pays before op's subtree makes progress.
+func (ex *executor) frostScore(op Operator) int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	n := 0
+	for _, c := range op.Children() {
+		t := ex.doneOut[c]
+		if t == nil {
+			continue
+		}
+		if h := ex.handles[t]; h != nil && h.Frozen() {
+			n++
+		}
+	}
+	return n
+}
+
+// frostOrder returns a stable task order for resolving the given subtrees
+// concurrently: subtrees whose already-resolved inputs are resident start
+// before ones that must first thaw frozen intermediates, so the pool works
+// on warm data while cold restores queue behind it (locality-aware
+// scheduling). Without a spill manager everything is resident and the
+// order is the identity.
+func (ex *executor) frostOrder(ops []Operator) []int {
+	order := make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	if ex.spill == nil || len(ops) < 2 {
+		return order
+	}
+	scores := make([]int, len(ops))
+	for i, c := range ops {
+		scores[i] = ex.frostScore(c)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	return order
 }
 
 // spillOpRef links a spill handle to its operator's slot in PlanStats.Ops
@@ -525,7 +655,10 @@ type memoEntry struct {
 	once sync.Once
 	out  *IndexedTable
 	st   *OperatorStats
-	err  error
+	// pre holds the statistics of the fused (non-top) links of a chain
+	// resolved through this entry; they precede st in post-order.
+	pre []*OperatorStats
+	err error
 }
 
 func (ex *executor) entry(op Operator) *memoEntry {
@@ -539,11 +672,88 @@ func (ex *executor) entry(op Operator) *memoEntry {
 	return e
 }
 
+// A pinSet names one operator's resolved inputs for pinInputs; fused
+// chains pass one set per link.
+type pinSet struct {
+	op     Operator
+	inputs []*IndexedTable
+}
+
+// pinInputs restores — and protects from eviction — every spilled input
+// the given operators are about to scan or probe. Operators that only
+// touch part of an input's key space (inputRanger) pin that range, so a
+// frozen input thaws only the chunks the scan will reach. Handles are
+// acquired in Seq order: an uncovered range top-up waits for an entry's
+// pins to drain, and ordered acquisition keeps those waits cycle-free
+// across concurrent branches. The returned handles stay pinned until the
+// caller unpins them; on error nothing stays pinned.
+func (ex *executor) pinInputs(sets []pinSet) ([]*spill.Handle, error) {
+	if ex.spill == nil {
+		return nil, nil
+	}
+	type pinReq struct {
+		h      *spill.Handle
+		lo, hi uint64
+		ranged bool
+	}
+	byHandle := make(map[*spill.Handle]*pinReq)
+	var order []*pinReq
+	for _, s := range sets {
+		rr, _ := s.op.(inputRanger)
+		for i, in := range s.inputs {
+			h := ex.handleOf(in)
+			if h == nil {
+				continue // base table, unspillable kind, or fused placeholder
+			}
+			var lo, hi uint64
+			ranged := false
+			if rr != nil {
+				lo, hi, ranged = rr.inputKeyRange(i)
+			}
+			if r, ok := byHandle[h]; ok {
+				// One pin must serve every ordinal reading this
+				// intermediate; widen to full unless the ranges agree.
+				if !ranged || !r.ranged || r.lo != lo || r.hi != hi {
+					r.ranged = false
+				}
+				continue
+			}
+			r := &pinReq{h: h, lo: lo, hi: hi, ranged: ranged}
+			byHandle[h] = r
+			order = append(order, r)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].h.Seq() < order[b].h.Seq() })
+	var pinned []*spill.Handle
+	for _, r := range order {
+		var err error
+		if r.ranged {
+			err = r.h.PinRangeCtx(ex.ctx, r.lo, r.hi)
+		} else {
+			err = r.h.PinCtx(ex.ctx)
+		}
+		if err != nil {
+			for _, h := range pinned {
+				h.Unpin()
+			}
+			return nil, err
+		}
+		pinned = append(pinned, r.h)
+	}
+	return pinned, nil
+}
+
 func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error) {
 	e := ex.entry(op)
 	e.once.Do(func() {
 		if err := ex.ctx.Err(); err != nil {
 			e.err = err // cancelled: don't start another operator
+			return
+		}
+		if ch := ex.chains[op]; ch != nil {
+			// op tops a fused chain: the chain runs as one stage inside
+			// this memo entry (fuse.go), bypassing the links below it.
+			ex.runChain(ch, e, stats)
 			return
 		}
 		children := op.Children()
@@ -552,11 +762,12 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			// Independent subtrees resolve concurrently on the shared
 			// pool; Fork runs on pool workers when they are idle and
 			// inline otherwise, so the goroutine count stays bounded by
-			// the pool size however deep the plan nests.
+			// the pool size however deep the plan nests. Subtrees with
+			// resident inputs are issued before ones that must thaw.
 			tasks := make([]func() error, len(children))
-			for i, c := range children {
-				i, c := i, c
-				tasks[i] = func() error {
+			for t, oi := range ex.frostOrder(children) {
+				i, c := oi, children[oi]
+				tasks[t] = func() error {
 					in, err := ex.resolve(c, stats)
 					inputs[i] = in
 					return err
@@ -576,68 +787,19 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 				inputs[i] = in
 			}
 		}
-		// Spilled inputs must be restored — and protected from eviction —
-		// while the operator scans and probes them. Operators that only
-		// touch part of an input's key space (inputRanger) pin that range,
-		// so a frozen input thaws only the chunks the scan will reach.
-		// Handles are acquired in Seq order: an uncovered range top-up
-		// waits for an entry's pins to drain, and ordered acquisition
-		// keeps those waits cycle-free across concurrent branches.
-		var pinned []*spill.Handle
+		pinned, err := ex.pinInputs([]pinSet{{op: op, inputs: inputs}})
+		if err != nil {
+			e.err = err
+			return
+		}
 		unpin := func() {
 			for _, h := range pinned {
 				h.Unpin()
 			}
 			pinned = nil
 		}
-		if ex.spill != nil {
-			type pinReq struct {
-				h      *spill.Handle
-				lo, hi uint64
-				ranged bool
-			}
-			rr, _ := op.(inputRanger)
-			byHandle := make(map[*spill.Handle]*pinReq)
-			var order []*pinReq
-			for i, in := range inputs {
-				h := ex.handleOf(in)
-				if h == nil {
-					continue
-				}
-				var lo, hi uint64
-				ranged := false
-				if rr != nil {
-					lo, hi, ranged = rr.inputKeyRange(i)
-				}
-				if r, ok := byHandle[h]; ok {
-					// One pin must serve every ordinal reading this
-					// intermediate; widen to full unless the ranges agree.
-					if !ranged || !r.ranged || r.lo != lo || r.hi != hi {
-						r.ranged = false
-					}
-					continue
-				}
-				r := &pinReq{h: h, lo: lo, hi: hi, ranged: ranged}
-				byHandle[h] = r
-				order = append(order, r)
-			}
-			sort.Slice(order, func(a, b int) bool { return order[a].h.Seq() < order[b].h.Seq() })
-			for _, r := range order {
-				var err error
-				if r.ranged {
-					err = r.h.PinRangeCtx(ex.ctx, r.lo, r.hi)
-				} else {
-					err = r.h.PinCtx(ex.ctx)
-				}
-				if err != nil {
-					unpin()
-					e.err = err
-					return
-				}
-				pinned = append(pinned, r.h)
-			}
-		}
-		ec := &ExecContext{ctx: ex.ctx, opts: ex.opts, sched: ex.sched, rec: ex.rec}
+		ec := &ExecContext{ctx: ex.ctx, opts: ex.opts, sched: ex.sched,
+			rec: ex.rec, wrecs: ex.wrecs, spill: ex.spill}
 		if stats != nil {
 			if _, isBase := op.(*Base); !isBase {
 				e.st = &OperatorStats{Label: op.Label()}
@@ -659,6 +821,11 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 			e.st.OutBytes = e.out.Idx.Bytes()
 		}
 		unpin()
+		if ex.doneOut != nil && e.err == nil {
+			ex.mu.Lock()
+			ex.doneOut[op] = e.out
+			ex.mu.Unlock()
+		}
 		// Hand the fresh intermediate to the spill manager, which may
 		// evict it (or a colder sibling) right away to hold the budget.
 		// Base tables stay out: the budget governs what the plan adds.
@@ -683,8 +850,13 @@ func (ex *executor) resolve(op Operator, stats *PlanStats) (*IndexedTable, error
 		}
 	})
 	if e.err == nil && e.st != nil && stats != nil {
-		// Append post-order, exactly once per operator.
+		// Append post-order, exactly once per operator; a fused chain's
+		// non-top links precede the top.
 		ex.mu.Lock()
+		for _, p := range e.pre {
+			stats.Ops = append(stats.Ops, *p)
+		}
+		e.pre = nil
 		st := *e.st
 		e.st = nil
 		stats.Ops = append(stats.Ops, st)

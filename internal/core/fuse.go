@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"qppt/internal/arena"
+)
+
+// Pipeline fusion (ROADMAP "fuse pipelines across single-consumer
+// edges"). QPPT's decomposed-plan model materializes a full prefix-tree
+// index for every operator output. That is pure overhead when the output
+// has exactly one consumer that immediately re-streams it through its own
+// pipeline: the index is built, scanned once, and dropped. Fusion detects
+// maximal runs of such edges (fuseChain) and executes each run as ONE
+// morsel-driven stage — the bottom link drives its native scan over its
+// own key-range morsels, every upper link consumes the combinations as a
+// stream through its probe pipeline (sink.forward), and only the top link
+// materializes an output index. No arena chunks are allocated for the
+// bypassed intermediates, nothing is registered with the spill manager,
+// and no partial merge happens below the top.
+//
+// Fusion degrades gracefully: an edge stays materialized when the
+// producer output is multi-consumer (the index is genuinely shared),
+// aggregating (the fold must see the whole multiset before the consumer
+// reads it), or feeds a consumer that needs indexed access —
+// Selection/Having consumers scan key ranges (and drive the partial-thaw
+// optimization), Join/Intersect consumers need a single-field probe key,
+// UnionDistinct iterates both inputs. Options.NoFuse turns the whole
+// mechanism off.
+//
+// Streaming preserves the materialized semantics exactly: the bypassed
+// index would have held one entry per assembled combination (existence-
+// only outputs preserve multiplicity through their duplicate-list
+// length), and the consumer's scan/probe path visits each entry once —
+// so forwarding each assembled combination directly yields the same
+// multiset. Only the arrival ORDER at the top sink differs (producer-scan
+// order instead of output key order), which is invisible to folded
+// outputs and to any consumer that does not rely on intra-key duplicate
+// row order — the same caveat morsel parallelism already carries.
+
+// A fuseChain is one maximal run of single-consumer edges executed as a
+// single stage. links runs bottom → top; ords[i] is the input ordinal of
+// links[i] that links[i-1] streams into (ords[0] = -1: the bottom drives
+// its own scan). Only the top link materializes.
+type fuseChain struct {
+	links []Operator
+	ords  []int
+}
+
+func (ch *fuseChain) top() Operator { return ch.links[len(ch.links)-1] }
+
+// FusableEdges reports how many producer→consumer edges pipeline fusion
+// skips when the plan rooted at root runs with fusion on — the number of
+// intermediate indexes never built. Planning surfaces (prepared
+// statements, EXPLAIN-style tooling) use it to annotate a plan without
+// executing it.
+func FusableEdges(root Operator) int {
+	uses := make(map[Operator]int)
+	countUses(root, uses)
+	uses[root]++ // the caller consumes the result, matching RunCtx
+	n := 0
+	for _, ch := range buildChains(root, uses) {
+		n += len(ch.links) - 1
+	}
+	return n
+}
+
+// fuseSpec returns a fusable operator's output spec (nil for kinds fusion
+// never touches).
+func fuseSpec(op Operator) *OutputSpec {
+	switch p := op.(type) {
+	case *Selection:
+		return &p.Out
+	case *Join:
+		return &p.Out
+	case *SelectJoin:
+		return &p.Out
+	case *Intersect:
+		return &p.Out
+	}
+	return nil
+}
+
+// fusableProducer reports whether op's output may be streamed instead of
+// materialized: a single-consumer, non-aggregating Selection, Join,
+// SelectJoin or Intersect. Folding outputs must materialize — the fold
+// collapses the multiset per key, and the consumer must see the collapsed
+// rows, not the raw combinations.
+func fusableProducer(op Operator, uses map[Operator]int) bool {
+	if uses[op] != 1 {
+		return false
+	}
+	spec := fuseSpec(op)
+	return spec != nil && spec.Fold == nil
+}
+
+// fuseCands reports which input ordinals of a consumer can accept a fused
+// stream, and whether the producer's output key must be a single field.
+// Join and Intersect replace the synchronous scan with a probe of the
+// other main, keyed by one context slot — so the fused main's key must be
+// single-attribute. SelectJoin matches its predicate on the raw (possibly
+// composed) key, so any arity works. Selection (= Having) is deliberately
+// absent: it scans its input by key range, which both the paper's model
+// and the partial-thaw optimization rely on.
+func fuseCands(op Operator) (ords []int, needSingleKey bool) {
+	switch op.(type) {
+	case *Join:
+		return []int{0, 1}, true
+	case *SelectJoin:
+		return []int{0}, false
+	case *Intersect:
+		return []int{0, 1}, true
+	}
+	return nil, false
+}
+
+// chainAt grows the longest fusable chain ending at top, following at
+// most one fused edge per consumer (the first qualifying candidate
+// ordinal). Returns nil when no edge into top fuses.
+func chainAt(top Operator, uses map[Operator]int) *fuseChain {
+	type edge struct {
+		child Operator
+		ord   int
+	}
+	var edges []edge // collected top-down
+	cur := top
+	for {
+		cands, needSingle := fuseCands(cur)
+		var child Operator
+		ord := -1
+		children := cur.Children()
+		for _, o := range cands {
+			c := children[o]
+			if !fusableProducer(c, uses) {
+				continue
+			}
+			if needSingle && len(fuseSpec(c).Key.Attrs) != 1 {
+				continue
+			}
+			child, ord = c, o
+			break
+		}
+		if child == nil {
+			break
+		}
+		edges = append(edges, edge{child: child, ord: ord})
+		cur = child
+	}
+	n := len(edges)
+	if n == 0 {
+		return nil
+	}
+	ch := &fuseChain{links: make([]Operator, n+1), ords: make([]int, n+1)}
+	ch.ords[0] = -1
+	for k := 0; k < n; k++ {
+		ch.links[k] = edges[n-1-k].child
+	}
+	ch.links[n] = top
+	for k := 1; k <= n; k++ {
+		ch.ords[k] = edges[n-k].ord
+	}
+	return ch
+}
+
+// buildChains walks the plan once and returns every fused chain, keyed by
+// its top link — the operator the executor resolves; the links below it
+// are bypassed and never resolved on their own.
+func buildChains(root Operator, uses map[Operator]int) map[Operator]*fuseChain {
+	chains := make(map[Operator]*fuseChain)
+	seen := make(map[Operator]bool)
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		if seen[op] {
+			return
+		}
+		seen[op] = true
+		if ch := chainAt(op, uses); ch != nil {
+			chains[op] = ch
+			// Recurse only into the inputs that stay materialized; the
+			// fused links belong to this chain.
+			for i, l := range ch.links {
+				for o, c := range l.Children() {
+					if i > 0 && o == ch.ords[i] {
+						continue
+					}
+					walk(c)
+				}
+			}
+			return
+		}
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return chains
+}
+
+// predMatch reports whether key k satisfies a selection predicate,
+// matching feedScan's range semantics: a nil predicate accepts
+// everything, an empty non-nil one nothing.
+func predMatch(pred KeyPred, k uint64) bool {
+	if pred == nil {
+		return true
+	}
+	for _, r := range pred {
+		if k >= r.Lo && k <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// fusedPipe builds the pipeline through which a fused consumer receives
+// the producer's streamed combinations, and returns the accept hook the
+// producer's forwarding sink calls with each assembled (key, row) pair.
+// inputs[fo] is a shape placeholder for the bypassed intermediate — it
+// fixes the context layout but is never scanned or probed.
+func fusedPipe(ec *ExecContext, op Operator, fo int, inputs []*IndexedTable) (*pipeline, func(k uint64, row []uint64), error) {
+	switch c := op.(type) {
+	case *Join:
+		return fusedJoinPipe(ec, c, fo, inputs)
+	case *Intersect:
+		return fusedJoinPipe(ec, c.asJoin(), fo, inputs)
+	case *SelectJoin:
+		p, err := c.pipe(ec, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		comp := inputs[0].Key.Composer()
+		ctx := make([]uint64, p.layout.width)
+		pred := c.Pred
+		accept := func(k uint64, row []uint64) {
+			// The selection predicate on the streamed key stands in for
+			// the key-range scan of the materialized path; feed then
+			// applies the selection residual before the main probe.
+			if !predMatch(pred, k) || p.aborted() {
+				return
+			}
+			p.layout.fillKey(ctx, 0, k, comp)
+			p.layout.fillRow(ctx, 0, row)
+			p.feed(ctx)
+		}
+		return p, accept, nil
+	}
+	return nil, nil, fmt.Errorf("core: operator %s cannot consume a fused stream", op.Label())
+}
+
+// fusedJoinPipe replaces the join's synchronous scan: the fused main (at
+// ordinal fo) streams in and the other main becomes probe stage 0, keyed
+// by the streamed main's (single-field) key. Assists follow as stages 1+,
+// and the join residual — which the materialized path applies after both
+// mains are filled, before any assist — runs on entry to stage 1.
+func fusedJoinPipe(ec *ExecContext, j *Join, fo int, inputs []*IndexedTable) (*pipeline, func(k uint64, row []uint64), error) {
+	layout := newCtxLayout(inputs...)
+	p := newPipeline(ec, layout)
+	p.addProbe(1-fo, layout.keyOff(fo, 0))
+	for i, a := range j.Assists {
+		off, err := layout.resolve(a.ProbeWith)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
+		}
+		p.addProbe(2+i, off)
+	}
+	p.setFilter(1, j.Residual)
+	ctx := make([]uint64, layout.width)
+	accept := func(k uint64, row []uint64) {
+		if p.aborted() {
+			return
+		}
+		p.layout.fillKey(ctx, fo, k, nil) // single-field key: no composer
+		p.layout.fillRow(ctx, fo, row)
+		p.feedStage(0, ctx)
+	}
+	return p, accept, nil
+}
+
+// bottomPipe builds the chain bottom's native combination pipeline; the
+// driver attaches the forwarding sink.
+func bottomPipe(ec *ExecContext, op Operator, inputs []*IndexedTable) (*pipeline, error) {
+	switch b := op.(type) {
+	case *Selection:
+		return b.pipe(ec, inputs)
+	case *Join:
+		return b.pipe(ec, inputs)
+	case *SelectJoin:
+		return b.pipe(ec, inputs)
+	case *Intersect:
+		return b.asJoin().pipe(ec, inputs)
+	}
+	return nil, fmt.Errorf("core: operator %s cannot drive a fused chain", op.Label())
+}
+
+// bottomScan returns the chain bottom's native morsel scan and bounds.
+func bottomScan(op Operator, inputs []*IndexedTable) (scanFn, boundsFn, error) {
+	switch b := op.(type) {
+	case *Selection:
+		return b.scan(inputs), b.bounds(inputs), nil
+	case *Join:
+		return b.scan(inputs), b.bounds(inputs), nil
+	case *SelectJoin:
+		return b.scan(inputs), b.bounds(inputs), nil
+	case *Intersect:
+		j := b.asJoin()
+		return j.scan(inputs), j.bounds(inputs), nil
+	}
+	return nil, nil, fmt.Errorf("core: operator %s cannot drive a fused chain", op.Label())
+}
+
+// runChain executes one fused chain inside the top link's memo entry:
+// resolve the materialized inputs of every link, pin whatever of them is
+// spilled, run the chain as one morsel-driven stage, then register the
+// top output and release the consumed inputs — exactly what resolve does
+// around a single operator, widened to the whole chain.
+func (ex *executor) runChain(ch *fuseChain, e *memoEntry, stats *PlanStats) {
+	n := len(ch.links)
+	childOf := make([][]Operator, n)
+	inputsOf := make([][]*IndexedTable, n)
+	type slot struct{ link, ord int }
+	var slots []slot
+	for i, l := range ch.links {
+		cs := l.Children()
+		childOf[i] = cs
+		inputsOf[i] = make([]*IndexedTable, len(cs))
+		for o := range cs {
+			if i > 0 && o == ch.ords[i] {
+				continue // the fused edge: no materialized input
+			}
+			slots = append(slots, slot{i, o})
+		}
+	}
+	resolveSlot := func(s slot) error {
+		in, err := ex.resolve(childOf[s.link][s.ord], stats)
+		inputsOf[s.link][s.ord] = in
+		return err
+	}
+	if ex.sched.parallel() && len(slots) > 1 {
+		ops := make([]Operator, len(slots))
+		for i, s := range slots {
+			ops[i] = childOf[s.link][s.ord]
+		}
+		tasks := make([]func() error, len(slots))
+		for t, oi := range ex.frostOrder(ops) {
+			s := slots[oi]
+			tasks[t] = func() error { return resolveSlot(s) }
+		}
+		if err := ex.sched.Fork(tasks...); err != nil {
+			e.err = err
+			return
+		}
+	} else {
+		for _, s := range slots {
+			if err := resolveSlot(s); err != nil {
+				e.err = err
+				return
+			}
+		}
+	}
+	// The bypassed edges get shape placeholders: the skipped
+	// intermediate's key spec and column layout with no index behind it.
+	for i := 1; i < n; i++ {
+		inputsOf[i][ch.ords[i]] = fuseSpec(ch.links[i-1]).ShapeOf()
+	}
+	sets := make([]pinSet, n)
+	for i, l := range ch.links {
+		sets[i] = pinSet{op: l, inputs: inputsOf[i]}
+	}
+	pinned, err := ex.pinInputs(sets)
+	if err != nil {
+		e.err = err
+		return
+	}
+	// One ExecContext per link, so the stream's combination counts and
+	// probe lookups attribute to the operator that produced them instead
+	// of lumping into the top's statistics.
+	ecs := make([]*ExecContext, n)
+	for i, l := range ch.links {
+		ec := &ExecContext{ctx: ex.ctx, opts: ex.opts, sched: ex.sched,
+			rec: ex.rec, wrecs: ex.wrecs, spill: ex.spill}
+		if stats != nil {
+			st := &OperatorStats{Label: l.Label(), Fused: i < n-1}
+			ec.opStats = st
+			if i < n-1 {
+				e.pre = append(e.pre, st)
+			} else {
+				e.st = st
+			}
+		}
+		ecs[i] = ec
+	}
+	t0 := time.Now()
+	e.out, e.err = ex.driveChain(ch, ecs, inputsOf)
+	if e.err == nil {
+		// A scan aborted by cancellation can surface a partial output;
+		// never memoize it as a valid result.
+		e.err = ex.ctx.Err()
+	}
+	if e.err == nil && e.st != nil {
+		// The links execute as one interleaved stage; each reports the
+		// chain's wall time, with IndexTime (and so MaterializeTime)
+		// still per link — only the top ever indexes.
+		elapsed := time.Since(t0)
+		for _, ec := range ecs {
+			ec.opStats.Time = elapsed
+			ec.opStats.MaterializeTime = elapsed - ec.opStats.IndexTime
+		}
+		e.st.OutRows = e.out.Rows()
+		e.st.OutKeys = e.out.Keys()
+		e.st.OutBytes = e.out.Idx.Bytes()
+	}
+	for _, h := range pinned {
+		h.Unpin()
+	}
+	ex.mu.Lock()
+	ex.fusedEdges += n - 1
+	if ex.doneOut != nil && e.err == nil {
+		ex.doneOut[ch.top()] = e.out
+	}
+	ex.mu.Unlock()
+	if ex.spill != nil && e.err == nil {
+		if fz := freezerOf(e.out.Idx); fz != nil {
+			h := ex.spill.Register(ch.top().Label(), fz, e.out.Idx.Bytes)
+			ex.mu.Lock()
+			ex.handles[e.out] = h
+			ex.mu.Unlock()
+		}
+	}
+	if ex.uses != nil && e.err == nil {
+		for i := range ch.links {
+			for o, c := range childOf[i] {
+				if i > 0 && o == ch.ords[i] {
+					continue
+				}
+				ex.releaseInput(c, inputsOf[i][o])
+			}
+		}
+	}
+}
+
+// driveChain runs the fused chain as one morsel-driven stage: per pool
+// worker one stack of pipelines (the bottom's native pipe, fused consumer
+// pipes above it, the top's materializing sink), the bottom's native scan
+// claiming key-range morsels, and the top partials combined with the
+// parallel partition-wise merge — the exact shape of runMorsels with a
+// pipeline stack in place of the single pipeline.
+func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*IndexedTable) (*IndexedTable, error) {
+	n := len(ch.links)
+	spec := fuseSpec(ch.top())
+	scan, bounds, err := bottomScan(ch.links[0], inputsOf[0])
+	if err != nil {
+		return nil, err
+	}
+	// newStack builds one worker's pipeline stack, wiring each link's
+	// forwarding sink to the accept hook of the link above, top-down.
+	newStack := func(sinkSpec *OutputSpec, rec *arena.Recycler) ([]*pipeline, *IndexedTable, error) {
+		pipes := make([]*pipeline, n)
+		var accept func(k uint64, row []uint64)
+		var out *IndexedTable
+		for i := n - 1; i >= 1; i-- {
+			p, acc, err := fusedPipe(ecs[i], ch.links[i], ch.ords[i], inputsOf[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == n-1 {
+				p.rec = rec
+				if out, err = p.setSink(sinkSpec); err != nil {
+					return nil, nil, err
+				}
+			} else if err = p.setForward(fuseSpec(ch.links[i]), accept); err != nil {
+				return nil, nil, err
+			}
+			pipes[i] = p
+			accept = acc
+		}
+		p0, err := bottomPipe(ecs[0], ch.links[0], inputsOf[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p0.setForward(fuseSpec(ch.links[0]), accept); err != nil {
+			return nil, nil, err
+		}
+		pipes[0] = p0
+		return pipes, out, nil
+	}
+	finish := func(pipes []*pipeline) {
+		for i, p := range pipes { // bottom → top: buffered combinations cascade upward
+			p.finish()
+			ecs[i].noteSink(p)
+		}
+	}
+	topEC := ecs[n-1]
+	sched := topEC.scheduler()
+	empty := func() (*IndexedTable, error) {
+		pipes, out, err := newStack(spec, topEC.rec)
+		if err != nil {
+			return nil, err
+		}
+		finish(pipes)
+		return out, nil
+	}
+	lo, hi, ok := bounds()
+	if !ok {
+		return empty()
+	}
+	workers := sched.Workers()
+	morsels := 1
+	if workers > 1 {
+		morsels = workers * topEC.morselsPerWorker()
+	}
+	stacks := make([][]*pipeline, workers)
+	outs := make([]*IndexedTable, workers)
+	err = sched.ForEachWorker(morsels, func(w, m int) error {
+		if err := topEC.err(); err != nil {
+			return err // cancelled: stop claiming morsels
+		}
+		mLo, mHi, ok := partitionBounds(lo, hi, m, morsels)
+		if !ok {
+			return nil
+		}
+		pipes := stacks[w]
+		if pipes == nil {
+			specCopy := *spec // private sink per worker partial
+			var err error
+			pipes, outs[w], err = newStack(&specCopy, topEC.workerRec(w))
+			if err != nil {
+				return err
+			}
+			stacks[w] = pipes
+		}
+		scan(pipes[0], mLo, mHi, morsels == 1)
+		if err := topEC.err(); err != nil {
+			return err // the scan itself may have been aborted mid-morsel
+		}
+		for _, p := range pipes {
+			p.morsels++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var partials []*IndexedTable
+	for w, pipes := range stacks {
+		if pipes == nil {
+			continue
+		}
+		finish(pipes)
+		partials = append(partials, outs[w])
+	}
+	switch len(partials) {
+	case 0:
+		return empty()
+	case 1:
+		return partials[0], nil
+	}
+	out, err := mergePartialsParallel(topEC, spec, partials)
+	if err != nil {
+		return nil, err
+	}
+	if topEC.rec != nil {
+		for _, p := range partials {
+			if rc, ok := p.Idx.(chunkRecycler); ok {
+				rc.Recycle()
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+var benchKeys int
+
+// BenchmarkFusedChain times the star plan (selection streaming into an
+// aggregating join) with the single-consumer edge fused against the
+// materialized execution of the same plan, serially and under morsel
+// parallelism. The fused path should be no slower and allocate less: the
+// selection's intermediate index is never built.
+func BenchmarkFusedChain(b *testing.B) {
+	f := buildFixture(21)
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"fused", Options{}},
+		{"materialized", Options{NoFuse: true}},
+		{"fused-w4", Options{Workers: 4}},
+		{"materialized-w4", Options{Workers: 4, NoFuse: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, _, err := starPlan(f, 2).Run(cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchKeys += out.Keys()
+			}
+		})
+	}
+}

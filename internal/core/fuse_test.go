@@ -1,0 +1,186 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildChains must detect exactly the single-consumer streaming edges:
+// the star plan's σ_products → join edge fuses; a multi-consumer
+// intermediate, a folding producer, and a key-range-scanning consumer
+// all stay materialized.
+func TestBuildChainsShapes(t *testing.T) {
+	f := buildFixture(14)
+	chainsOf := func(root Operator) map[Operator]*fuseChain {
+		uses := map[Operator]int{}
+		countUses(root, uses)
+		uses[root]++
+		return buildChains(root, uses)
+	}
+
+	// Star plan: one chain, selection streaming into the join's right
+	// input (ordinal 1).
+	plan := starPlan(f, 2)
+	chains := chainsOf(plan.Root)
+	if len(chains) != 1 {
+		t.Fatalf("star plan has %d chains, want 1", len(chains))
+	}
+	ch := chains[plan.Root]
+	if ch == nil {
+		t.Fatal("star plan chain not keyed by its top operator")
+	}
+	if len(ch.links) != 2 || ch.ords[0] != -1 || ch.ords[1] != 1 {
+		t.Fatalf("chain shape links=%d ords=%v, want 2 links feeding ordinal 1", len(ch.links), ch.ords)
+	}
+	if _, ok := ch.links[0].(*Selection); !ok {
+		t.Fatalf("chain bottom is %T, want *Selection", ch.links[0])
+	}
+	if FusableEdges(plan.Root) != 1 {
+		t.Fatalf("FusableEdges = %d, want 1", FusableEdges(plan.Root))
+	}
+
+	// Multi-consumer: both intersect inputs read the same selection —
+	// the index is genuinely shared, nothing fuses.
+	sel := &Selection{
+		Input: &Base{Table: f.prodByBrand},
+		Pred:  Between(0, 10),
+		Out: OutputSpec{
+			Name:    "σ_products",
+			Key:     SimpleKey("prodkey", 16),
+			KeyRefs: []Ref{{Input: 0, Attr: "prodkey"}},
+		},
+	}
+	shared := &Intersect{A: sel, B: sel, Out: sel.Out}
+	if got := chainsOf(shared); len(got) != 0 {
+		t.Fatalf("multi-consumer selection fused: %d chains", len(got))
+	}
+	if FusableEdges(shared) != 0 {
+		t.Fatal("FusableEdges counted a multi-consumer edge")
+	}
+
+	// Folding producer: the fold must see the whole multiset before the
+	// consumer reads it, so the edge stays materialized.
+	foldSel := &Selection{
+		Input: &Base{Table: f.factByProd},
+		Out: OutputSpec{
+			Name:     "Γ_qty",
+			Key:      SimpleKey("custkey", 16),
+			KeyRefs:  []Ref{{Input: 0, Attr: "custkey"}},
+			Cols:     []string{"sum_qty"},
+			ColExprs: []RowExpr{Attr(0, "qty")},
+			Fold:     FoldSum(0),
+		},
+	}
+	if fusableProducer(foldSel, map[Operator]int{foldSel: 1}) {
+		t.Fatal("folding selection reported fusable")
+	}
+
+	// Selection consumer: key-range scans need the materialized index
+	// (and drive partial thaw); a σ→σ plan must build no chains.
+	outer := &Selection{
+		Input: sel,
+		Pred:  Between(2, 5),
+		Out:   sel.Out,
+	}
+	if got := chainsOf(outer); len(got) != 0 {
+		t.Fatalf("selection consumer fused: %d chains", len(got))
+	}
+}
+
+// Fusion must be a pure execution strategy: results bit-identical to the
+// materialized plan across serial/parallel execution and with a spill
+// budget, with the fused-edge counter moving.
+func TestFusedMatchesMaterialized(t *testing.T) {
+	f := buildFixture(15)
+	mkPlan := func() *Plan {
+		join := starPlan(f, 2).Root
+		return &Plan{Root: &Having{
+			Input: join,
+			Pred:  nil,
+			Out: OutputSpec{
+				Name:     "having",
+				Key:      SimpleKey("region", 8),
+				KeyRefs:  []Ref{{Input: 0, Attr: "region"}},
+				Cols:     []string{"sum_qty"},
+				ColExprs: []RowExpr{Attr(0, "sum_qty")},
+			},
+		}}
+	}
+	want, _, err := mkPlan().Run(Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes := Extract(want)
+	for _, opt := range []Options{
+		{},
+		{Workers: 3},
+		{MemBudget: 1},
+		{Workers: 3, MemBudget: 1},
+		{Workers: 3, MemBudget: 1, MmapThaw: true, Recycle: true},
+	} {
+		opt.CollectStats = true
+		out, stats, err := mkPlan().Run(opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if !reflect.DeepEqual(Extract(out).Rows, wantRes.Rows) {
+			t.Fatalf("%+v: fused result differs", opt)
+		}
+		if stats.FusedEdges != 1 {
+			t.Fatalf("%+v: FusedEdges = %d, want 1", opt, stats.FusedEdges)
+		}
+	}
+}
+
+// Per-operator stats of a fused chain: the bypassed link reports its
+// streamed combinations under its own label, the top link reports the
+// materialized output, and the plan stats surface the skipped edge.
+func TestFusedStatsAttribution(t *testing.T) {
+	f := buildFixture(16)
+	out, stats, err := starPlan(f, 2).Run(Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FusedEdges != 1 {
+		t.Fatalf("FusedEdges = %d, want 1", stats.FusedEdges)
+	}
+	if len(stats.Ops) != 2 {
+		t.Fatalf("%d operator rows, want 2", len(stats.Ops))
+	}
+	sel, join := stats.Ops[0], stats.Ops[1]
+	if sel.Label != "σ→σ_products" || !sel.Fused {
+		t.Fatalf("first op %q fused=%v, want the fused selection", sel.Label, sel.Fused)
+	}
+	if sel.TuplesStreamed == 0 || sel.TuplesIndexed != 0 {
+		t.Fatalf("fused selection streamed=%d indexed=%d, want streamed>0 indexed=0", sel.TuplesStreamed, sel.TuplesIndexed)
+	}
+	if sel.Time <= 0 {
+		t.Fatal("fused selection reported no time")
+	}
+	if join.Fused || join.OutKeys != out.Keys() || join.OutRows != out.Rows() {
+		t.Fatalf("top join stats %+v do not match output %d/%d", join, out.Keys(), out.Rows())
+	}
+	s := stats.String()
+	if !strings.Contains(s, "fusion: 1 intermediate indexes skipped") || !strings.Contains(s, "combinations streamed") {
+		t.Fatalf("stats string does not report fusion:\n%s", s)
+	}
+}
+
+// frostOrder without a spill manager must be the identity permutation —
+// locality ordering only exists to prefer resident inputs over frozen
+// ones, and without a budget nothing is ever frozen.
+func TestFrostOrderIdentityWithoutSpill(t *testing.T) {
+	f := buildFixture(17)
+	ex := &executor{}
+	ops := []Operator{&Base{Table: f.custByKey}, &Base{Table: f.factByProd}, &Base{Table: f.prodByBrand}}
+	order := ex.frostOrder(ops)
+	if len(order) != len(ops) {
+		t.Fatalf("frostOrder returned %d indexes for %d ops", len(order), len(ops))
+	}
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("frostOrder without spill = %v, want identity", order)
+		}
+	}
+}

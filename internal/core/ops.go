@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"qppt/internal/arena"
 	"qppt/internal/duplist"
 )
 
@@ -100,35 +101,54 @@ func (s *Selection) inputKeyRange(i int) (uint64, uint64, bool) {
 	return predEnvelope(s.Pred)
 }
 
-func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+// pipe builds the selection's combination pipeline over its input; the
+// caller attaches the sink (setSink to materialize, setForward to fuse).
+func (s *Selection) pipe(ec *ExecContext, inputs []*IndexedTable) (*pipeline, error) {
+	p := newPipeline(ec, newCtxLayout(inputs[0]))
+	p.residual = s.Residual
+	return p, nil
+}
+
+// scan returns the morsel scan body over the resolved inputs.
+func (s *Selection) scan(inputs []*IndexedTable) scanFn {
 	in := inputs[0]
-	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
-		p := newPipeline(ec, newCtxLayout(in))
-		p.residual = s.Residual
-		out, err := p.setSink(spec)
-		if err != nil {
-			return nil, nil, err
-		}
-		return p, out, nil
-	}
-	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+	return func(p *pipeline, lo, hi uint64, whole bool) {
 		pred := s.Pred
 		if !whole {
 			pred = intersectPred(pred, lo, hi)
 		}
 		feedScan(p, in, pred)
 	}
-	bounds := func() (uint64, uint64, bool) {
-		// With a predicate, morsels partition its envelope instead of the
-		// data bounds: the scan clips every morsel to the predicate
-		// anyway, and a partially thawed input must not be asked for
-		// Min/Max (its skipped leaves read as empty key-0 leaves).
+}
+
+// bounds returns the morsel interval: with a predicate, morsels partition
+// its envelope instead of the data bounds — the scan clips every morsel
+// to the predicate anyway, and a partially thawed input must not be asked
+// for Min/Max (its skipped leaves read as empty key-0 leaves).
+func (s *Selection) bounds(inputs []*IndexedTable) boundsFn {
+	in := inputs[0]
+	return func() (uint64, uint64, bool) {
 		if lo, hi, ok := predEnvelope(s.Pred); ok {
 			return lo, hi, true
 		}
 		return idxBounds(in.Idx)
 	}
-	return runMorsels(ec, &s.Out, bounds, newPart, scan)
+}
+
+func (s *Selection) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	newPart := func(spec *OutputSpec, rec *arena.Recycler) (*pipeline, *IndexedTable, error) {
+		p, err := s.pipe(ec, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.rec = rec
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, out, nil
+	}
+	return runMorsels(ec, &s.Out, s.bounds(inputs), newPart, s.scan(inputs))
 }
 
 // feedScan scans input 0's qualifying key ranges into the pipeline. A nil
@@ -205,25 +225,26 @@ func (j *Join) Children() []Operator {
 	return ops
 }
 
-func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	left, right := inputs[0], inputs[1]
-	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
-		layout := newCtxLayout(inputs...)
-		p := newPipeline(ec, layout)
-		for i, a := range j.Assists {
-			off, err := layout.resolve(a.ProbeWith)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
-			}
-			p.addProbe(2+i, off)
-		}
-		out, err := p.setSink(spec)
+// pipe builds the join's probe pipeline (assist stages only — the mains
+// are fed by the synchronous scan); the caller attaches the sink.
+func (j *Join) pipe(ec *ExecContext, inputs []*IndexedTable) (*pipeline, error) {
+	layout := newCtxLayout(inputs...)
+	p := newPipeline(ec, layout)
+	for i, a := range j.Assists {
+		off, err := layout.resolve(a.ProbeWith)
 		if err != nil {
-			return nil, nil, err
+			return nil, fmt.Errorf("core: %s assist %d: %w", j.Label(), i, err)
 		}
-		return p, out, nil
+		p.addProbe(2+i, off)
 	}
-	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+	return p, nil
+}
+
+// scan returns the morsel scan body: the synchronous index scan over the
+// two main inputs, cross-producting matching content nodes.
+func (j *Join) scan(inputs []*IndexedTable) scanFn {
+	left, right := inputs[0], inputs[1]
+	return func(p *pipeline, lo, hi uint64, whole bool) {
 		lComp, rComp := left.Key.Composer(), right.Key.Composer()
 		ctx := make([]uint64, p.layout.width)
 		feedPair := func(ctx []uint64) {
@@ -257,8 +278,28 @@ func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, erro
 			syncScanKeyRange(left.Idx, right.Idx, lo, hi, visit)
 		}
 	}
-	bounds := func() (uint64, uint64, bool) { return syncScanBounds(left.Idx, right.Idx) }
-	return runMorsels(ec, &j.Out, bounds, newPart, scan)
+}
+
+// bounds returns the synchronous scan's morsel interval.
+func (j *Join) bounds(inputs []*IndexedTable) boundsFn {
+	left, right := inputs[0], inputs[1]
+	return func() (uint64, uint64, bool) { return syncScanBounds(left.Idx, right.Idx) }
+}
+
+func (j *Join) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	newPart := func(spec *OutputSpec, rec *arena.Recycler) (*pipeline, *IndexedTable, error) {
+		p, err := j.pipe(ec, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.rec = rec
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, out, nil
+	}
+	return runMorsels(ec, &j.Out, j.bounds(inputs), newPart, j.scan(inputs))
 }
 
 func crossRight(layout ctxLayout, ctx []uint64, right *IndexedTable, rv *duplist.List, feed func([]uint64)) {
@@ -326,48 +367,68 @@ func (sj *SelectJoin) inputKeyRange(i int) (uint64, uint64, bool) {
 	return predEnvelope(sj.Pred)
 }
 
-func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	sel := inputs[0]
-	newPart := func(spec *OutputSpec) (*pipeline, *IndexedTable, error) {
-		layout := newCtxLayout(inputs...)
-		p := newPipeline(ec, layout)
-		mainOff, err := layout.resolve(sj.ProbeMainWith)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
-		}
-		p.addProbe(1, mainOff)
-		for i, a := range sj.Assists {
-			off, err := layout.resolve(a.ProbeWith)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: %s assist %d: %w", sj.Label(), i, err)
-			}
-			p.addProbe(2+i, off)
-		}
-		out, err := p.setSink(spec)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.residual = sj.Residual
-		p.setFilter(1, sj.MainResidual)
-		return p, out, nil
+// pipe builds the select-join's probe pipeline: the main probe at stage
+// 0, assists after, with the selection residual at the pipeline entry and
+// the main residual between the main probe and the first assist.
+func (sj *SelectJoin) pipe(ec *ExecContext, inputs []*IndexedTable) (*pipeline, error) {
+	layout := newCtxLayout(inputs...)
+	p := newPipeline(ec, layout)
+	mainOff, err := layout.resolve(sj.ProbeMainWith)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s main probe: %w", sj.Label(), err)
 	}
-	scan := func(p *pipeline, lo, hi uint64, whole bool) {
+	p.addProbe(1, mainOff)
+	for i, a := range sj.Assists {
+		off, err := layout.resolve(a.ProbeWith)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s assist %d: %w", sj.Label(), i, err)
+		}
+		p.addProbe(2+i, off)
+	}
+	p.residual = sj.Residual
+	p.setFilter(1, sj.MainResidual)
+	return p, nil
+}
+
+// scan returns the morsel scan body over the selection input.
+func (sj *SelectJoin) scan(inputs []*IndexedTable) scanFn {
+	sel := inputs[0]
+	return func(p *pipeline, lo, hi uint64, whole bool) {
 		pred := sj.Pred
 		if !whole {
 			pred = intersectPred(pred, lo, hi)
 		}
 		feedScan(p, sel, pred)
 	}
-	bounds := func() (uint64, uint64, bool) {
-		// See Selection.run: the predicate envelope stands in for the
-		// data bounds so a partially thawed selection input is never
-		// asked for Min/Max.
+}
+
+// bounds returns the selection scan's morsel interval. See
+// Selection.bounds: the predicate envelope stands in for the data bounds
+// so a partially thawed selection input is never asked for Min/Max.
+func (sj *SelectJoin) bounds(inputs []*IndexedTable) boundsFn {
+	sel := inputs[0]
+	return func() (uint64, uint64, bool) {
 		if lo, hi, ok := predEnvelope(sj.Pred); ok {
 			return lo, hi, true
 		}
 		return idxBounds(sel.Idx)
 	}
-	return runMorsels(ec, &sj.Out, bounds, newPart, scan)
+}
+
+func (sj *SelectJoin) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
+	newPart := func(spec *OutputSpec, rec *arena.Recycler) (*pipeline, *IndexedTable, error) {
+		p, err := sj.pipe(ec, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.rec = rec
+		out, err := p.setSink(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, out, nil
+	}
+	return runMorsels(ec, &sj.Out, sj.bounds(inputs), newPart, sj.scan(inputs))
 }
 
 // Intersect is the set intersection operator used when conjunctive
@@ -386,9 +447,12 @@ func (op *Intersect) Label() string { return "∩→" + op.Out.Name }
 // Children implements Operator.
 func (op *Intersect) Children() []Operator { return []Operator{op.A, op.B} }
 
+// asJoin returns the 2-way join the intersect physically is; the fused
+// execution path reuses the join's pipe and scan through it.
+func (op *Intersect) asJoin() *Join { return &Join{Out: op.Out} }
+
 func (op *Intersect) run(ec *ExecContext, inputs []*IndexedTable) (*IndexedTable, error) {
-	j := Join{Out: op.Out}
-	return j.run(ec, inputs)
+	return op.asJoin().run(ec, inputs)
 }
 
 // UnionDistinct is the distinct-union set operator (paper Section 4.1).

@@ -5,6 +5,7 @@ import (
 	"qppt/internal/duplist"
 	"qppt/internal/kisstree"
 	"qppt/internal/prefixtree"
+	"qppt/internal/spill"
 )
 
 // Intra-operator parallelism (paper Section 7).
@@ -154,23 +155,31 @@ func keySpaceMax(bits uint) uint64 {
 	return uint64(1)<<bits - 1
 }
 
+// scanFn feeds the input keys in [lo, hi] through a worker's pipeline
+// (whole == true means the morsel covers the full input, letting the
+// operator keep its unclipped fast path); boundsFn reports the operator's
+// morsel interval (ok == false when there is nothing to scan).
+type scanFn = func(p *pipeline, lo, hi uint64, whole bool)
+type boundsFn = func() (uint64, uint64, bool)
+
 // runMorsels drives one operator's scan as work-stealing morsels on the
 // plan's shared pool. newPart builds a fresh pipeline + output table pair
 // (one per pool worker, created lazily when the worker claims its first
-// non-empty morsel); scan feeds the input keys in [lo, hi] through the
-// worker's pipeline (whole == true means the morsel covers the full input,
-// letting the operator keep its unclipped fast path). The per-worker
-// partial outputs are then combined with the parallel partition-wise
-// merge. With a single worker the lone partial is the output itself and
-// execution degenerates to the paper's single-threaded mode.
+// non-empty morsel) whose output index draws chunks from the given
+// recycler — each pool worker gets its worker-local pool so partials stay
+// cache-warm and uncontended; scan feeds the input keys in [lo, hi]
+// through the worker's pipeline. The per-worker partial outputs are then
+// combined with the parallel partition-wise merge. With a single worker
+// the lone partial is the output itself and execution degenerates to the
+// paper's single-threaded mode.
 func runMorsels(ec *ExecContext, spec *OutputSpec,
-	bounds func() (uint64, uint64, bool),
-	newPart func(spec *OutputSpec) (*pipeline, *IndexedTable, error),
-	scan func(p *pipeline, lo, hi uint64, whole bool),
+	bounds boundsFn,
+	newPart func(spec *OutputSpec, rec *arena.Recycler) (*pipeline, *IndexedTable, error),
+	scan scanFn,
 ) (*IndexedTable, error) {
 	sched := ec.scheduler()
 	empty := func() (*IndexedTable, error) {
-		p, out, err := newPart(spec)
+		p, out, err := newPart(spec, ec.rec)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +210,7 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 		if p == nil {
 			specCopy := *spec // private sink per worker partial
 			var err error
-			p, outs[w], err = newPart(&specCopy)
+			p, outs[w], err = newPart(&specCopy, ec.workerRec(w))
 			if err != nil {
 				return err
 			}
@@ -371,16 +380,60 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 	if len(los) < 2 {
 		return mergePartials(spec, partials, ec.rec), nil
 	}
+	// Under a memory budget the worker partials are spillable state like
+	// any other intermediate: register them with the manager (all or
+	// nothing — an unfreezable index kind keeps every partial resident)
+	// so a large merge does not hold the full partial population resident.
+	// Each merge task then pins just its key range of every partial, in
+	// registration (Seq) order — ordered acquisition keeps the pin waits
+	// cycle-free across concurrent merge tasks and operator resolves.
+	var phs []*spill.Handle
+	if ec.spill != nil {
+		phs = make([]*spill.Handle, len(partials))
+		for i, p := range partials {
+			fz := freezerOf(p.Idx)
+			if fz == nil {
+				for _, h := range phs[:i] {
+					h.Drop()
+				}
+				phs = nil
+				break
+			}
+			phs[i] = ec.spill.Register("partial:"+spec.Name, fz, p.Idx.Bytes)
+		}
+	}
 	shards := make([]Index, len(los))
 	err := sched.ForEachWorker(len(shards), func(_, r int) error {
 		if err := ec.err(); err != nil {
 			return err // cancelled: stop claiming merge ranges
 		}
+		for i, h := range phs {
+			if err := h.PinRangeCtx(ec.ctx, los[r], his[r]); err != nil {
+				for _, ph := range phs[:i] {
+					ph.Unpin()
+				}
+				return err
+			}
+		}
 		idx := newOutputIndex(spec, ec.rec)
 		mergeRangeInto(idx, spec, partials, los[r], his[r])
 		shards[r] = idx
+		for _, h := range phs {
+			h.Unpin()
+		}
 		return nil
 	})
+	if phs != nil {
+		// The partials die with this merge; fold their freeze/thaw
+		// traffic into the operator's statistics before dropping them.
+		spills, restores := 0, 0
+		for _, h := range phs {
+			s, r := h.Counts()
+			spills, restores = spills+s, restores+r
+			h.Drop()
+		}
+		ec.noteSpill(spills, restores)
+	}
 	if err != nil {
 		return nil, err
 	}

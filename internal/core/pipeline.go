@@ -100,13 +100,21 @@ type probeStage struct {
 
 // A sink materializes combinations into the output index: it assembles the
 // output key (composed if multi-attribute) and payload row, then issues
-// batched inserts.
+// batched inserts. With forward set (a fused edge) the index is skipped
+// entirely: each assembled (key, row) pair streams straight into the
+// consumer operator's pipeline instead.
 type sink struct {
 	out      Index
 	keyOffs  []int
 	comp     *key.Composer
 	exprs    []compiledExpr
 	rowWidth int
+
+	// forward, when non-nil, receives every assembled combination in
+	// place of an index insert; row is only valid for the duration of the
+	// call. out is nil in this mode and flush is a no-op.
+	forward func(k uint64, row []uint64)
+	rowBuf  []uint64
 
 	keys      []uint64
 	rows      [][]uint64
@@ -205,9 +213,10 @@ func (p *pipeline) addProbe(input int, probeOff int) {
 	})
 }
 
-// setSink compiles the output spec against the layout and creates the
-// output index.
-func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
+// compileSink compiles the output spec's key refs and column expressions
+// against the layout, without deciding where the assembled combinations
+// go (setSink materializes them; setForward streams them).
+func (p *pipeline) compileSink(spec *OutputSpec) (*sink, error) {
 	if len(spec.KeyRefs) != len(spec.Key.Attrs) {
 		return nil, fmt.Errorf("core: output %q: %d key refs for %d key attrs", spec.Name, len(spec.KeyRefs), len(spec.Key.Attrs))
 	}
@@ -233,9 +242,35 @@ func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
 		}
 		s.exprs = append(s.exprs, compiledExpr{off: off})
 	}
+	return s, nil
+}
+
+// setSink compiles the output spec against the layout and creates the
+// output index.
+func (p *pipeline) setSink(spec *OutputSpec) (*IndexedTable, error) {
+	s, err := p.compileSink(spec)
+	if err != nil {
+		return nil, err
+	}
 	s.out = newOutputIndex(spec, p.rec)
 	p.snk = s
 	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, s.out), nil
+}
+
+// setForward compiles the output spec like setSink but skips the output
+// index: every combination the sink would have inserted is assembled
+// (key composed, payload row evaluated) and handed to fw — the fused
+// consumer's accept hook — instead. No arena chunks are allocated and
+// nothing is registered with the spill manager for this edge.
+func (p *pipeline) setForward(spec *OutputSpec, fw func(k uint64, row []uint64)) error {
+	s, err := p.compileSink(spec)
+	if err != nil {
+		return err
+	}
+	s.forward = fw
+	s.rowBuf = make([]uint64, 0, s.rowWidth)
+	p.snk = s
+	return nil
 }
 
 // feed pushes a completed base combination into the pipeline. The ctx slice
@@ -304,10 +339,9 @@ func (p *pipeline) flushStage(i int) {
 }
 
 // feed buffers one combination in the sink; flush materializes and inserts.
+// On a fused edge (forward set) the combination streams straight to the
+// consumer instead.
 func (s *sink) feed(ctx []uint64, bufSize int) {
-	if cap(s.arena) == 0 {
-		s.arena = make([]uint64, 0, bufSize*s.rowWidth)
-	}
 	var k uint64
 	switch len(s.keyOffs) {
 	case 0:
@@ -322,6 +356,22 @@ func (s *sink) feed(ctx []uint64, bufSize int) {
 			s.fieldsBuf[i] = ctx[off]
 		}
 		k = s.comp.Compose(s.fieldsBuf...)
+	}
+	if s.forward != nil {
+		s.rowBuf = s.rowBuf[:0]
+		for _, e := range s.exprs {
+			if e.fn != nil {
+				s.rowBuf = append(s.rowBuf, e.fn(ctx))
+			} else {
+				s.rowBuf = append(s.rowBuf, ctx[e.off])
+			}
+		}
+		s.inserted++
+		s.forward(k, s.rowBuf)
+		return
+	}
+	if cap(s.arena) == 0 {
+		s.arena = make([]uint64, 0, bufSize*s.rowWidth)
 	}
 	start := len(s.arena)
 	for _, e := range s.exprs {
@@ -338,9 +388,10 @@ func (s *sink) feed(ctx []uint64, bufSize int) {
 	}
 }
 
-// flush issues the batched insert (materialization + indexing).
+// flush issues the batched insert (materialization + indexing); a
+// forwarding sink never buffers, so flush is a no-op for it.
 func (s *sink) flush() {
-	if len(s.keys) == 0 {
+	if s.forward != nil || len(s.keys) == 0 {
 		return
 	}
 	t0 := time.Now()

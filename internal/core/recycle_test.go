@@ -40,6 +40,9 @@ func TestRecycleMatchesBaseline(t *testing.T) {
 		{Recycle: true, Workers: 3, MemBudget: 1, MmapThaw: true},
 	} {
 		opt.CollectStats = true
+		// The drop→reuse cycle needs the selection intermediate to be
+		// built and dropped; fusion would skip it entirely.
+		opt.NoFuse = true
 		out, stats, err := mkPlan().Run(opt)
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)

@@ -239,6 +239,13 @@ func (b *builder) finish(plan *core.Plan) (*Statement, error) {
 	return s, nil
 }
 
+// FusableEdges annotates the compiled plan with the number of
+// intermediate indexes pipeline fusion skips when the statement runs
+// with fusion on (core.Options.NoFuse unset). Zero means every edge of
+// this plan must materialize: each output is either multi-consumer,
+// aggregating, or feeds a consumer that needs indexed access.
+func (s *Statement) FusableEdges() int { return core.FusableEdges(s.Plan.Root) }
+
 // Run executes the statement one-shot on the options it was planned with:
 // the plan allocates a private worker pool of Options.Exec.Workers
 // goroutines (serial when unset) and, when requested via

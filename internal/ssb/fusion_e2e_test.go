@@ -1,0 +1,65 @@
+package ssb
+
+import (
+	"reflect"
+	"testing"
+
+	"qppt/internal/core"
+)
+
+// TestFusionMatchesMaterialized asserts bit-identical results between
+// fused (default) and materialized (NoFuse) execution for every SSB
+// query, across plan shapes, serial and parallel execution, and with a
+// sub-peak memory budget forcing the materialized intermediates through
+// the spill path. Fusion is purely an execution strategy; it must be
+// completely invisible in the output.
+func TestFusionMatchesMaterialized(t *testing.T) {
+	ds := testDataset(t)
+	for _, qid := range QueryIDs {
+		for _, useSJ := range []bool{true, false} {
+			ref, _, err := ds.RunQPPT(qid, PlanOptions{
+				UseSelectJoin: useSJ,
+				Exec:          core.Options{NoFuse: true},
+			})
+			if err != nil {
+				t.Fatalf("Q%s materialized: %v", qid, err)
+			}
+			for _, exec := range []core.Options{
+				{},
+				{Workers: 3, MorselsPerWorker: 3},
+				{MemBudget: 1},
+				{Workers: 3, MorselsPerWorker: 3, MemBudget: 1},
+			} {
+				fused, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: useSJ, Exec: exec})
+				if err != nil {
+					t.Fatalf("Q%s fused (%+v): %v", qid, exec, err)
+				}
+				if !reflect.DeepEqual(ref.Rows, fused.Rows) {
+					t.Errorf("Q%s selectjoin=%v %+v: fused result differs (%d vs %d rows)",
+						qid, useSJ, exec, len(fused.Rows), len(ref.Rows))
+				}
+			}
+		}
+	}
+}
+
+// TestFusionCoversDecomposedPlans: on the decomposed (plain) plan shape
+// every SSB query carries at least one single-consumer selection→join
+// edge, so the fused-edge counter must move on well over half the suite
+// — the coverage the fusion ablation reports.
+func TestFusionCoversDecomposedPlans(t *testing.T) {
+	ds := testDataset(t)
+	fusedQueries := 0
+	for _, qid := range QueryIDs {
+		_, stats, err := ds.RunQPPT(qid, PlanOptions{Exec: core.Options{CollectStats: true}})
+		if err != nil {
+			t.Fatalf("Q%s: %v", qid, err)
+		}
+		if stats.FusedEdges > 0 {
+			fusedQueries++
+		}
+	}
+	if fusedQueries < 8 {
+		t.Fatalf("only %d of %d decomposed queries fused any edge, want >= 8", fusedQueries, len(QueryIDs))
+	}
+}

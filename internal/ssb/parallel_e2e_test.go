@@ -45,9 +45,12 @@ func TestMorselParallelMatchesSerial(t *testing.T) {
 // benchmark output records what it measured.
 func TestMorselStatsRecordConfiguration(t *testing.T) {
 	ds := testDataset(t)
+	// NoFuse: the fan-out assertion needs the final join to drive its own
+	// morsels over the wide date-key space; fused, the whole chain is
+	// driven by the select-join's narrow selection envelope.
 	_, stats, err := ds.RunQPPT("2.3", PlanOptions{
 		UseSelectJoin: true,
-		Exec:          core.Options{Workers: 3, MorselsPerWorker: 5, CollectStats: true},
+		Exec:          core.Options{Workers: 3, MorselsPerWorker: 5, CollectStats: true, NoFuse: true},
 	})
 	if err != nil {
 		t.Fatal(err)

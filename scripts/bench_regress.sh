@@ -11,8 +11,9 @@
 #
 # The benchmark set covers the engine's hot kernels: the parallel
 # partition-wise merge, batched prefix-tree/KISS lookup and insert (arena
-# and pointer layouts), and the synchronous index scan. Benchmarks run
-# with -benchmem, so cmd/benchdiff gates allocs/op next to ns/op —
+# and pointer layouts), the synchronous index scan, and the fused-chain
+# plan execution (fused vs materialized, serial and parallel). Benchmarks
+# run with -benchmem, so cmd/benchdiff gates allocs/op next to ns/op —
 # allocation regressions on the hot kernels fail CI even when wall time
 # hides them in runner noise.
 #
@@ -28,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-0.3s}
-PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch'
+PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch|BenchmarkFusedChain'
 PKGS="./internal/core ./internal/prefixtree ./internal/kisstree"
 
 run_benches() { # $1 = count

@@ -122,3 +122,12 @@ func WithMorselsPerWorker(n int) QueryOption {
 func WithoutSelectJoin() QueryOption {
 	return func(q *queryConfig) { q.noSelectJoin = true }
 }
+
+// WithoutFusion disables pipeline fusion for the query: every
+// single-consumer intermediate index is materialized, as in the paper's
+// decomposed-plan model. The result is identical either way; the
+// materialized plan reports per-operator index sizes where the fused one
+// reports streamed combination counts (OperatorStats.Fused).
+func WithoutFusion() QueryOption {
+	return func(q *queryConfig) { q.exec.NoFuse = true }
+}

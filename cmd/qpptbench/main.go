@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|fusion|engine|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|fusion|probe|engine|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
 //	          [-workers N] [-morsels M] [-buffer B] [-membudget 256MiB]
 //	          [-recycle] [-mmapthaw]
@@ -25,8 +25,11 @@
 // (allocs, GC pause, thaw bytes read) across those configurations;
 // -fig fusion compares fused and materialized execution of the suite on
 // the decomposed plans (fused-edge counts, streamed combinations, and a
-// bit-identity check per query). -nofuse turns pipeline fusion off for
-// every other figure's QPPT rows.
+// bit-identity check per query); -fig probe isolates the batched probe
+// forwarding inside fused chains (batched vs scalar vs materialized, with
+// batch counts and average fill). -nofuse turns pipeline fusion off for
+// every other figure's QPPT rows; -probebatch sets the probe-forward
+// batch size they run with (1 = scalar).
 //
 // -workers > 1 runs the QPPT engine rows of figures 7, 8 and 9 on a
 // shared worker pool of that size (morsel-driven parallelism); -morsels
@@ -78,6 +81,7 @@ type benchSnapshot struct {
 	Layout  json.RawMessage    `json:"layout,omitempty"`
 	MemLife []bench.MemLifeRow `json:"memlife,omitempty"`
 	Fusion  []bench.FusionRow  `json:"fusion,omitempty"`
+	Probe   []bench.ProbeRow   `json:"probe,omitempty"`
 }
 
 // benchHistory is the BENCH_qppt.json layout: snapshots in append order.
@@ -116,7 +120,7 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, fusion, engine, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, fusion, probe, engine, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
@@ -330,6 +334,19 @@ func main() {
 		}
 		fmt.Println()
 		snap.Fusion = rows
+	}
+	if wants("probe") {
+		fmt.Println("=== Ablation: batched vs scalar probe forwarding in fused chains (decomposed plans) over the SSB suite [ms] ===")
+		rows, err := bench.AblationProbe(dataset(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("  Q%-4s batched %8.1f ms  scalar %8.1f ms  materialized %8.1f ms  %6d batches (avg fill %6.1f)  identical=%v\n",
+				r.Query, r.BatchedMillis, r.ScalarMillis, r.MaterializedMillis, r.ProbeBatches, r.AvgBatchFill, r.Identical)
+		}
+		fmt.Println()
+		snap.Probe = rows
 	}
 	if *benchjson != "" {
 		if err := appendSnapshot(*benchjson, snap); err != nil {

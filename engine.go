@@ -73,6 +73,10 @@ type Config struct {
 	// single-consumer intermediate index is materialized as in the paper's
 	// decomposed-plan model. Per-query, WithoutFusion does the same.
 	DisableFusion bool
+	// ProbeBatch is the default probe-forward batch size inside fused
+	// chains (core.Options.ProbeBatch): 0 = core default, 1 = scalar
+	// forwarding. Per-query, WithProbeBatch overrides it.
+	ProbeBatch int
 }
 
 // ErrEngineClosed is returned by every query entry point after Close.
@@ -236,6 +240,7 @@ func (e *Engine) execOptions(opts []QueryOption) core.Options {
 		BufferSize:       e.cfg.BufferSize,
 		MorselsPerWorker: e.cfg.MorselsPerWorker,
 		NoFuse:           e.cfg.DisableFusion,
+		ProbeBatch:       e.cfg.ProbeBatch,
 	}}
 	for _, o := range opts {
 		o(&q)

@@ -201,6 +201,20 @@ func PutChunk[T any](r *Recycler, c []T) {
 	r.mu.Unlock()
 }
 
+// NewChunk returns a length-0 chunk of exactly capElems capacity, served
+// from the pool when a matching chunk is parked and freshly allocated
+// otherwise. It is the allocation entry point for recycler-backed scratch
+// buffers — e.g. the per-worker probe buffers of fused pipelines — whose
+// size class (element type × capacity) repeats across workers and plans:
+// give the buffer back with PutChunk when the stage finishes and the next
+// worker's NewChunk finds it. A nil recycler degrades to a plain make.
+func NewChunk[T any](r *Recycler, capElems int) []T {
+	if c, ok := GetChunk[T](r, capElems); ok {
+		return c
+	}
+	return make([]T, 0, capElems)
+}
+
 // GetChunk returns a pooled zeroed chunk of exactly the requested element
 // capacity (length 0), or ok == false when the pool has none (or r is nil).
 func GetChunk[T any](r *Recycler, capElems int) ([]T, bool) {

@@ -186,13 +186,13 @@ func AblationKISSCompression(n int) []CompressionRow {
 // spill-file bytes restores actually had to copy.
 type MemLifeRow struct {
 	Config        string  `json:"config"`
-	Millis        float64 `json:"millis"`          // whole-suite wall time, best of reps
-	AllocBytes    uint64  `json:"allocBytes"`      // heap allocated during one suite pass
-	Allocs        uint64  `json:"allocs"`          // heap objects allocated during the pass
-	GCPauseNs     uint64  `json:"gcPauseNs"`       // GC stop-the-world pause during the pass
-	NumGC         uint32  `json:"numGC"`           // GC cycles during the pass
-	ThawBytesRead int64   `json:"thawBytesRead"`   // spill-file bytes copied by restores
-	ChunksReused  int     `json:"chunksReused"`    // allocations served by the recycler
+	Millis        float64 `json:"millis"`            // whole-suite wall time, best of reps
+	AllocBytes    uint64  `json:"allocBytes"`        // heap allocated during one suite pass
+	Allocs        uint64  `json:"allocs"`            // heap objects allocated during the pass
+	GCPauseNs     uint64  `json:"gcPauseNs"`         // GC stop-the-world pause during the pass
+	NumGC         uint32  `json:"numGC"`             // GC cycles during the pass
+	ThawBytesRead int64   `json:"thawBytesRead"`     // spill-file bytes copied by restores
+	ChunksReused  int     `json:"chunksReused"`      // allocations served by the recycler
 	SavedBytes    int64   `json:"recycleSavedBytes"` // heap allocation the reuses avoided
 }
 
@@ -365,6 +365,88 @@ func AblationFusion(ds *ssb.Dataset, reps int) ([]FusionRow, error) {
 			Query: qid, FusedMillis: fusedMs, UnfusedMillis: unfusedMs,
 			FusedEdges: stats.FusedEdges, TuplesStreamed: streamed,
 			Identical: reflect.DeepEqual(fused, materialized),
+		})
+	}
+	return out, nil
+}
+
+// A ProbeRow is one SSB query of the batched-probe ablation: the fused
+// decomposed plan run with batched (default) and scalar (ProbeBatch 1)
+// probe forwarding, against the fully materialized execution, with the
+// batch counters and a bit-identity check.
+type ProbeRow struct {
+	Query              string  `json:"query"`
+	BatchedMillis      float64 `json:"batchedMillis"`      // fused, batched forwarding (default)
+	ScalarMillis       float64 `json:"scalarMillis"`       // fused, ProbeBatch 1
+	MaterializedMillis float64 `json:"materializedMillis"` // NoFuse
+	ProbeBatches       int     `json:"probeBatches"`       // batches flushed through the fused chains
+	AvgBatchFill       float64 `json:"avgBatchFill"`       // combinations per batch
+	Identical          bool    `json:"identical"`          // batched rows == materialized rows
+}
+
+// AblationProbe isolates the batch-probe amortization inside fused
+// chains on the decomposed SSB plans: batched forwarding sorts each probe
+// buffer so upper links' LookupBatch walks shared tree descents once per
+// distinct key, where scalar forwarding (ProbeBatch 1) descends per
+// combination — the paper's vector-at-a-time claim applied inside a
+// pipeline. The materialized column anchors both against no fusion at
+// all. The join-heavy flights 2–4 are where batching should win; flight 1
+// chains are selection-only and mostly shrug.
+func AblationProbe(ds *ssb.Dataset, reps int) ([]ProbeRow, error) {
+	var out []ProbeRow
+	for _, qid := range ssb.QueryIDs {
+		run := func(exec core.Options) (rows [][]uint64, stats *core.PlanStats, err error) {
+			r, st, e := ds.RunQPPT(qid, ssb.PlanOptions{Exec: exec})
+			if e != nil {
+				return nil, nil, fmt.Errorf("bench: Q%s (%+v): %w", qid, exec, e)
+			}
+			return r.Rows, st, nil
+		}
+		// Warm the lazily provisioned base indexes outside the timed region.
+		if _, _, err := run(core.Options{}); err != nil {
+			return nil, err
+		}
+		var err error
+		time := func(exec core.Options) float64 {
+			ms, _ := timeIt(reps, func() int {
+				r, _, e := run(exec)
+				if e != nil {
+					err = e
+					return 0
+				}
+				return len(r)
+			})
+			return ms
+		}
+		batchedMs := time(core.Options{})
+		scalarMs := time(core.Options{ProbeBatch: 1})
+		materializedMs := time(core.Options{NoFuse: true})
+		if err != nil {
+			return nil, err
+		}
+		// One stats pass supplies the batch counters and the identity check.
+		batched, stats, err := run(core.Options{CollectStats: true})
+		if err != nil {
+			return nil, err
+		}
+		materialized, _, err := run(core.Options{NoFuse: true})
+		if err != nil {
+			return nil, err
+		}
+		batches, streamed := 0, 0
+		for _, op := range stats.Ops {
+			batches += op.ProbeBatches
+			streamed += op.TuplesStreamed
+		}
+		fill := 0.0
+		if batches > 0 {
+			fill = float64(streamed) / float64(batches)
+		}
+		out = append(out, ProbeRow{
+			Query: qid, BatchedMillis: batchedMs, ScalarMillis: scalarMs,
+			MaterializedMillis: materializedMs,
+			ProbeBatches:       batches, AvgBatchFill: fill,
+			Identical: reflect.DeepEqual(batched, materialized),
 		})
 	}
 	return out, nil

@@ -25,6 +25,7 @@ type Exec struct {
 	NoRecycle  bool
 	MmapThaw   bool
 	NoFuse     bool
+	ProbeBatch int
 }
 
 // Register declares the shared flags on fs (use flag.CommandLine for the
@@ -40,6 +41,7 @@ func Register(fs *flag.FlagSet) *Exec {
 	fs.StringVar(&e.RecycleCap, "recyclecap", "", "byte cap on the engine chunk pool (e.g. 256MiB); empty = engine default")
 	fs.BoolVar(&e.MmapThaw, "mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
 	fs.BoolVar(&e.NoFuse, "nofuse", false, "disable pipeline fusion: materialize every single-consumer intermediate index (fusion is on by default)")
+	fs.IntVar(&e.ProbeBatch, "probebatch", 0, "probe-forward batch size inside fused chains (1 = scalar forwarding, 0 = default; ignored under -nofuse)")
 	return e
 }
 
@@ -74,6 +76,7 @@ func (e *Exec) ExecOptions() (core.Options, error) {
 		Recycle:          e.Recycle,
 		MmapThaw:         e.MmapThaw,
 		NoFuse:           e.NoFuse,
+		ProbeBatch:       e.ProbeBatch,
 	}, nil
 }
 
@@ -95,6 +98,7 @@ func (e *Exec) EngineConfig() (qppt.Config, error) {
 		MmapThaw:         e.MmapThaw,
 		DisableRecycle:   e.NoRecycle,
 		DisableFusion:    e.NoFuse,
+		ProbeBatch:       e.ProbeBatch,
 	}
 	cap, err := e.RecycleCapBytes()
 	if err != nil {

@@ -55,17 +55,21 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		env.rec.SetCap(cfg.RecycleCap)
 	}
 	if cfg.MemBudget > 0 {
-		mgr, err := spill.NewConfig(spill.Config{
-			Budget: cfg.MemBudget,
-			Dir:    cfg.SpillDir,
-			Mmap:   cfg.MmapThaw,
-		})
+		mgr, err := newSpillManager(cfg.MemBudget, cfg.SpillDir, cfg.MmapThaw)
 		if err != nil {
 			return nil, err
 		}
 		env.spill = mgr
 	}
 	return env, nil
+}
+
+// newSpillManager is the single place a spill manager is assembled from
+// budget knobs — NewEnv builds the environment-scoped manager through it
+// and RunCtx the plan-private one (a budget passed in Options against a
+// spill-less shared Env), so the two paths cannot drift apart.
+func newSpillManager(budget int64, dir string, mmap bool) (*spill.Manager, error) {
+	return spill.NewConfig(spill.Config{Budget: budget, Dir: dir, Mmap: mmap})
 }
 
 // Workers reports the shared pool size.

@@ -78,6 +78,15 @@ type Options struct {
 	// identical either way, up to the intra-key duplicate row order of
 	// non-folding outputs — the same caveat as Workers > 1.
 	NoFuse bool
+	// ProbeBatch is the probe-forward batch size inside fused chains: how
+	// many assembled combinations a fused link accumulates in its
+	// recycler-backed probe buffer before handing them — key-sorted, so
+	// the consumer's batched index probes walk shared tree descents once —
+	// to the link above. 0 uses DefaultProbeBatch; 1 forwards scalar
+	// combination-at-a-time (the pre-batching behavior). Irrelevant under
+	// NoFuse. Results are identical at any setting, up to the intra-key
+	// duplicate row order of non-folding outputs (the Workers > 1 caveat).
+	ProbeBatch int
 }
 
 // poolWorkers resolves Workers into the pool size the scheduler uses.
@@ -171,6 +180,31 @@ func (ec *ExecContext) morselsPerWorker() int { return ec.opts.morselsPerWorker(
 // one; it matches the middle setting of the paper's demonstrator.
 const DefaultBufferSize = 512
 
+// DefaultProbeBatch is the probe-forward batch size inside fused chains
+// when Options does not set one. It matches DefaultBufferSize, so one
+// forwarded batch fills (at most) one joinbuffer flush in the consumer.
+const DefaultProbeBatch = 512
+
+// probeSortMinKeys is the smallest probe-target index (keys) for which a
+// fused link key-sorts its probe batches before forwarding. Below it the
+// consumer's tree is shallow enough that probes cost a descent of a level
+// or two regardless of order, and the per-batch sort is pure overhead;
+// above it sorted batches let LookupBatch/InsertBatch walk shared
+// descents once per distinct prefix.
+const probeSortMinKeys = 4096
+
+// probeBatch resolves Options.ProbeBatch: 0 = default, anything below 1 =
+// scalar forwarding.
+func (ec *ExecContext) probeBatch() int {
+	if ec.opts.ProbeBatch == 0 {
+		return DefaultProbeBatch
+	}
+	if ec.opts.ProbeBatch < 1 {
+		return 1
+	}
+	return ec.opts.ProbeBatch
+}
+
 // noteSink folds one worker pipeline's counters into the operator
 // statistics: each pipeline is one pool worker's partial, so the call also
 // counts the workers and morsels that actually executed.
@@ -180,13 +214,14 @@ func (ec *ExecContext) noteSink(p *pipeline) {
 	}
 	ec.mu.Lock()
 	ec.opStats.IndexTime += p.snk.insertTime
-	if p.snk.forward != nil {
+	if p.snk.forward != nil || p.snk.forwardBatch != nil {
 		// A forwarding sink (fused edge) streams its combinations to the
 		// consumer instead of indexing them.
 		ec.opStats.TuplesStreamed += p.snk.inserted
 	} else {
 		ec.opStats.TuplesIndexed += p.snk.inserted
 	}
+	ec.opStats.ProbeBatches += p.snk.batches
 	ec.opStats.ProbeLookups += p.lookups
 	ec.opStats.Workers++
 	ec.opStats.Morsels += p.morsels
@@ -213,8 +248,18 @@ type OperatorStats struct {
 	// chain: its output index was never built, and TuplesStreamed counts
 	// the combinations it streamed into its consumer instead. For such
 	// operators TuplesIndexed, IndexTime and the Out* fields are zero.
+	// FusedKind labels the kind of fused edge by its consumer: "probe"
+	// (Join/Intersect), "select-probe" (SelectJoin) or "range-stream"
+	// (Selection/Having).
 	Fused          bool
+	FusedKind      string
 	TuplesStreamed int
+	// ProbeBatches counts the key-sorted batches a fused link handed to
+	// its consumer (0 under scalar forwarding, ProbeBatch <= 1);
+	// AvgBatchFill is TuplesStreamed per batch — how full the probe
+	// buffer ran against the configured ProbeBatch size.
+	ProbeBatches int
+	AvgBatchFill float64
 	// Workers is the number of pool workers that contributed a partial
 	// output; Morsels the number of key-range morsels they processed
 	// (1/1 for serial execution).
@@ -298,8 +343,16 @@ func (ps *PlanStats) String() string {
 	}
 	for _, op := range ps.Ops {
 		if op.Fused {
-			s += fmt.Sprintf("  %-24s %10v  fused: %d combinations streamed\n",
-				op.Label+" ⇒", op.Time.Round(time.Microsecond), op.TuplesStreamed)
+			kind := op.FusedKind
+			if kind == "" {
+				kind = "stream"
+			}
+			s += fmt.Sprintf("  %-24s %10v  fused %s: %d combinations streamed",
+				op.Label+" ⇒", op.Time.Round(time.Microsecond), kind, op.TuplesStreamed)
+			if op.ProbeBatches > 0 {
+				s += fmt.Sprintf(" in %d batches (avg fill %.1f)", op.ProbeBatches, op.AvgBatchFill)
+			}
+			s += "\n"
 			continue
 		}
 		s += fmt.Sprintf("  %-24s %10v (index %8v) out: %d rows, %d keys, %d B",
@@ -378,11 +431,7 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 	}
 	ownSpill := env.spill == nil && shared && opts.MemBudget > 0
 	if ownSpill {
-		mgr, err := spill.NewConfig(spill.Config{
-			Budget: opts.MemBudget,
-			Dir:    opts.SpillDir,
-			Mmap:   opts.MmapThaw,
-		})
+		mgr, err := newSpillManager(opts.MemBudget, opts.SpillDir, opts.MmapThaw)
 		if err != nil {
 			return nil, nil, err
 		}

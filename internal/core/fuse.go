@@ -23,11 +23,31 @@ import (
 // Fusion degrades gracefully: an edge stays materialized when the
 // producer output is multi-consumer (the index is genuinely shared),
 // aggregating (the fold must see the whole multiset before the consumer
-// reads it), or feeds a consumer that needs indexed access —
-// Selection/Having consumers scan key ranges (and drive the partial-thaw
-// optimization), Join/Intersect consumers need a single-field probe key,
-// UnionDistinct iterates both inputs. Options.NoFuse turns the whole
-// mechanism off.
+// reads it), or feeds a consumer fusion cannot stream into —
+// Join/Intersect consumers need a single-field probe key, UnionDistinct
+// iterates both inputs. Options.NoFuse turns the whole mechanism off.
+//
+// Fused links forward in batches (Options.ProbeBatch): each link's
+// probe buffer accumulates assembled combinations and hands them to the
+// link above key-sorted, so the consumer's batched index probes and
+// inserts walk shared tree descents once per batch instead of once per
+// combination — the vector-at-a-time processing the paper's batch
+// algorithms are built for, inside a morsel-driven stage. Sorting is
+// adaptive: a batch is sorted only when the consumer can amortize it — a
+// probing consumer whose probe target is deep enough (probeSortMinKeys)
+// — and only when it does not already arrive in key order; range-stream
+// consumers and shallow probe targets get the batch in arrival order,
+// keeping the batch machinery's overhead to the buffer copy.
+//
+// Selection/Having consumers fuse as *range streams*: the producer's
+// key-sorted batches stand in for the ordered key-range scan the
+// materialized path would run, the selection applies its predicate on
+// the stream (predMatch), and — when every link below forwards the scan
+// key unchanged — the predicate envelope additionally clips the bottom
+// link's scan bounds (chainEnvelope), so out-of-range keys are never
+// even produced. The partial-thaw optimization a materialized Selection
+// input would drive is moot here: the bypassed intermediate is never
+// built, so there is nothing to freeze or thaw.
 //
 // Streaming preserves the materialized semantics exactly: the bypassed
 // index would have held one entry per assembled combination (existence-
@@ -99,15 +119,19 @@ func fusableProducer(op Operator, uses map[Operator]int) bool {
 // stream, and whether the producer's output key must be a single field.
 // Join and Intersect replace the synchronous scan with a probe of the
 // other main, keyed by one context slot — so the fused main's key must be
-// single-attribute. SelectJoin matches its predicate on the raw (possibly
-// composed) key, so any arity works. Selection (= Having) is deliberately
-// absent: it scans its input by key range, which both the paper's model
-// and the partial-thaw optimization rely on.
+// single-attribute. SelectJoin and Selection (= Having) match their
+// predicate on the raw (possibly composed) key, so any arity works: the
+// key-range scan a materialized Selection input would get is replaced by
+// the predicate applied to the ordered range stream (and, where the key
+// passes through unchanged, by clipping the bottom scan to the predicate
+// envelope — chainEnvelope).
 func fuseCands(op Operator) (ords []int, needSingleKey bool) {
 	switch op.(type) {
 	case *Join:
 		return []int{0, 1}, true
 	case *SelectJoin:
+		return []int{0}, false
+	case *Selection:
 		return []int{0}, false
 	case *Intersect:
 		return []int{0, 1}, true
@@ -243,6 +267,28 @@ func fusedPipe(ec *ExecContext, op Operator, fo int, inputs []*IndexedTable) (*p
 			p.feed(ctx)
 		}
 		return p, accept, nil
+	case *Selection:
+		p, err := c.pipe(ec, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		comp := inputs[0].Key.Composer()
+		ctx := make([]uint64, p.layout.width)
+		pred := c.Pred
+		accept := func(k uint64, row []uint64) {
+			// Range-stream fusion: the key-sorted batches arriving here
+			// are the ordered range stream the materialized path would
+			// have scanned out of the intermediate index; the predicate
+			// runs on the stream, the residual inside feed, and nothing
+			// is ever indexed below the chain top.
+			if !predMatch(pred, k) || p.aborted() {
+				return
+			}
+			p.layout.fillKey(ctx, 0, k, comp)
+			p.layout.fillRow(ctx, 0, row)
+			p.feed(ctx)
+		}
+		return p, accept, nil
 	}
 	return nil, nil, fmt.Errorf("core: operator %s cannot consume a fused stream", op.Label())
 }
@@ -274,6 +320,86 @@ func fusedJoinPipe(ec *ExecContext, j *Join, fo int, inputs []*IndexedTable) (*p
 		p.feedStage(0, ctx)
 	}
 	return p, accept, nil
+}
+
+// fusedKindOf labels the kind of fused edge by the consumer it streams
+// into (OperatorStats.FusedKind).
+func fusedKindOf(consumer Operator) string {
+	switch consumer.(type) {
+	case *Selection:
+		return "range-stream"
+	case *SelectJoin:
+		return "select-probe"
+	case *Join, *Intersect:
+		return "probe"
+	}
+	return ""
+}
+
+// forwardsScanKey reports whether link i of the chain forwards its
+// driving key unchanged: the link's output key is a single field read
+// straight from the key slot the scanned (i == 0) or streamed (i > 0)
+// input fills with the raw key. Only through such links does a
+// downstream Selection's key predicate constrain the bottom scan.
+func forwardsScanKey(ch *fuseChain, i int, inputs []*IndexedTable) bool {
+	spec := fuseSpec(ch.links[i])
+	if len(spec.KeyRefs) != 1 {
+		return false
+	}
+	layout := newCtxLayout(inputs...)
+	off, err := layout.resolve(spec.KeyRefs[0])
+	if err != nil {
+		return false
+	}
+	var cands []int
+	if i == 0 {
+		switch ch.links[0].(type) {
+		case *Join, *Intersect:
+			// The synchronous scan fills both mains' key slots with the
+			// same scanned key.
+			cands = []int{0, 1}
+		default:
+			cands = []int{0}
+		}
+	} else {
+		cands = []int{ch.ords[i]}
+	}
+	for _, fo := range cands {
+		// A multi-attribute key is composed: its individual fields are
+		// not the raw driving key, so only single-field slots qualify.
+		if len(layout.inputs[fo].Key.Attrs) == 1 && off == layout.keyOff(fo, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// chainEnvelope intersects the predicate envelopes of the chain's fused
+// Selection consumers that observe the bottom scan key unchanged. The
+// result is an extra clip on the bottom link's scan bounds: a key outside
+// the envelope would flow up the chain unchanged and die at that
+// selection's predMatch, so the bottom never scans it. ok is false when
+// no fused selection constrains the scan key.
+func chainEnvelope(ch *fuseChain, inputsOf [][]*IndexedTable) (lo, hi uint64, ok bool) {
+	for i := 1; i < len(ch.links); i++ {
+		if !forwardsScanKey(ch, i-1, inputsOf[i-1]) {
+			break // the key is transformed below this link; predicates above do not see the scan key
+		}
+		sel, isSel := ch.links[i].(*Selection)
+		if !isSel {
+			continue
+		}
+		plo, phi, pok := predEnvelope(sel.Pred)
+		if !pok {
+			continue
+		}
+		if !ok {
+			lo, hi, ok = plo, phi, true
+		} else {
+			lo, hi = max(lo, plo), min(hi, phi)
+		}
+	}
+	return lo, hi, ok
 }
 
 // bottomPipe builds the chain bottom's native combination pipeline; the
@@ -382,6 +508,7 @@ func (ex *executor) runChain(ch *fuseChain, e *memoEntry, stats *PlanStats) {
 			st := &OperatorStats{Label: l.Label(), Fused: i < n-1}
 			ec.opStats = st
 			if i < n-1 {
+				st.FusedKind = fusedKindOf(ch.links[i+1])
 				e.pre = append(e.pre, st)
 			} else {
 				e.st = st
@@ -404,6 +531,9 @@ func (ex *executor) runChain(ch *fuseChain, e *memoEntry, stats *PlanStats) {
 		for _, ec := range ecs {
 			ec.opStats.Time = elapsed
 			ec.opStats.MaterializeTime = elapsed - ec.opStats.IndexTime
+			if ec.opStats.ProbeBatches > 0 {
+				ec.opStats.AvgBatchFill = float64(ec.opStats.TuplesStreamed) / float64(ec.opStats.ProbeBatches)
+			}
 		}
 		e.st.OutRows = e.out.Rows()
 		e.st.OutKeys = e.out.Keys()
@@ -451,6 +581,47 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 	if err != nil {
 		return nil, err
 	}
+	// Fused links forward their combinations in key-sorted batches of
+	// probeBatch (Options.ProbeBatch); 1 degenerates to scalar
+	// combination-at-a-time forwarding, the pre-batching behavior.
+	probeBatch := ecs[0].probeBatch()
+	// sortPays reports whether key-sorting link i's probe batches can buy
+	// anything from the consumer above: a Selection applies its predicate
+	// per combination without probing an index, and probes into a shallow
+	// index descend a level or two no matter the order — in both cases the
+	// per-batch sort costs more than the shared descents it would create.
+	sortPays := func(i int) bool {
+		consumer := ch.links[i+1]
+		if _, ok := consumer.(*Selection); ok {
+			return false
+		}
+		for o, in := range inputsOf[i+1] {
+			if o != ch.ords[i+1] && in != nil && in.Keys() >= probeSortMinKeys {
+				return true
+			}
+		}
+		return false
+	}
+	// wireForward attaches link i's forwarding sink: batched (the probe
+	// buffer hands the consumer's accept hook the batch, key-sorted when
+	// that pays) or scalar.
+	wireForward := func(i int, p *pipeline, spec *OutputSpec, accept func(k uint64, row []uint64)) error {
+		if probeBatch <= 1 {
+			return p.setForward(spec, accept)
+		}
+		w := len(spec.Cols)
+		return p.setForwardBatch(spec, probeBatch, sortPays(i), func(keys, rows []uint64, perm []uint32) {
+			if perm == nil { // arrival order (already sorted, or sorting skipped)
+				for i := range keys {
+					accept(keys[i], rows[i*w:i*w+w])
+				}
+				return
+			}
+			for _, j := range perm {
+				accept(keys[j], rows[int(j)*w:int(j)*w+w])
+			}
+		})
+	}
 	// newStack builds one worker's pipeline stack, wiring each link's
 	// forwarding sink to the accept hook of the link above, top-down.
 	newStack := func(sinkSpec *OutputSpec, rec *arena.Recycler) ([]*pipeline, *IndexedTable, error) {
@@ -462,12 +633,12 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 			if err != nil {
 				return nil, nil, err
 			}
+			p.rec = rec // sink index chunks (top) and probe buffers (below) share the worker pool
 			if i == n-1 {
-				p.rec = rec
 				if out, err = p.setSink(sinkSpec); err != nil {
 					return nil, nil, err
 				}
-			} else if err = p.setForward(fuseSpec(ch.links[i]), accept); err != nil {
+			} else if err = wireForward(i, p, fuseSpec(ch.links[i]), accept); err != nil {
 				return nil, nil, err
 			}
 			pipes[i] = p
@@ -477,7 +648,8 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := p0.setForward(fuseSpec(ch.links[0]), accept); err != nil {
+		p0.rec = rec
+		if err := wireForward(0, p0, fuseSpec(ch.links[0]), accept); err != nil {
 			return nil, nil, err
 		}
 		pipes[0] = p0
@@ -487,6 +659,7 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 		for i, p := range pipes { // bottom → top: buffered combinations cascade upward
 			p.finish()
 			ecs[i].noteSink(p)
+			p.release() // park the probe buffers for the next worker/plan
 		}
 	}
 	topEC := ecs[n-1]
@@ -502,6 +675,21 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 	lo, hi, ok := bounds()
 	if !ok {
 		return empty()
+	}
+	clipped := false
+	if elo, ehi, eok := chainEnvelope(ch, inputsOf); eok {
+		// A fused range-stream consumer constrains the scan key: clip the
+		// bottom scan to its predicate envelope so out-of-range keys are
+		// never produced just to be dropped at predMatch.
+		if elo > lo {
+			lo, clipped = elo, true
+		}
+		if ehi < hi {
+			hi, clipped = ehi, true
+		}
+		if lo > hi {
+			return empty()
+		}
 	}
 	workers := sched.Workers()
 	morsels := 1
@@ -528,7 +716,9 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 			}
 			stacks[w] = pipes
 		}
-		scan(pipes[0], mLo, mHi, morsels == 1)
+		// A clipped serial scan must take the morsel-range path: the
+		// whole-input fast path ignores the bounds.
+		scan(pipes[0], mLo, mHi, morsels == 1 && !clipped)
 		if err := topEC.err(); err != nil {
 			return err // the scan itself may have been aborted mid-morsel
 		}

@@ -32,3 +32,34 @@ func BenchmarkFusedChain(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchedProbe sweeps the probe-forward batch size of the fused
+// star plan. batch1 is scalar forwarding (the pre-batching execution);
+// larger batches sort each buffer so the consumer's LookupBatch walks
+// shared tree descents once per distinct key — the paper's batch-probe
+// amortization inside a fused chain. The recycler keeps steady-state
+// batch buffers allocation-neutral across sizes.
+func BenchmarkBatchedProbe(b *testing.B) {
+	f := buildFixture(22)
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"batch1", Options{ProbeBatch: 1}},
+		{"batch256", Options{ProbeBatch: 256}},
+		{"batch512", Options{}},
+		{"batch1024", Options{ProbeBatch: 1024}},
+		{"batch512-w4", Options{Workers: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, _, err := starPlan(f, 2).Run(cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchKeys += out.Keys()
+			}
+		})
+	}
+}

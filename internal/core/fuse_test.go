@@ -1,15 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
 )
 
 // buildChains must detect exactly the single-consumer streaming edges:
-// the star plan's σ_products → join edge fuses; a multi-consumer
-// intermediate, a folding producer, and a key-range-scanning consumer
-// all stay materialized.
+// the star plan's σ_products → join edge and a σ→σ range stream fuse; a
+// multi-consumer intermediate and a folding producer stay materialized.
 func TestBuildChainsShapes(t *testing.T) {
 	f := buildFixture(14)
 	chainsOf := func(root Operator) map[Operator]*fuseChain {
@@ -76,15 +78,24 @@ func TestBuildChainsShapes(t *testing.T) {
 		t.Fatal("folding selection reported fusable")
 	}
 
-	// Selection consumer: key-range scans need the materialized index
-	// (and drive partial thaw); a σ→σ plan must build no chains.
+	// Selection consumer (range-stream fusion): the σ→σ edge fuses — the
+	// outer selection applies its predicate on the ordered range stream
+	// instead of scanning a materialized intermediate.
 	outer := &Selection{
 		Input: sel,
 		Pred:  Between(2, 5),
 		Out:   sel.Out,
 	}
-	if got := chainsOf(outer); len(got) != 0 {
-		t.Fatalf("selection consumer fused: %d chains", len(got))
+	got := chainsOf(outer)
+	if len(got) != 1 {
+		t.Fatalf("σ→σ plan has %d chains, want 1", len(got))
+	}
+	sch := got[Operator(outer)]
+	if sch == nil || len(sch.links) != 2 || sch.ords[1] != 0 {
+		t.Fatalf("σ→σ chain shape %+v, want 2 links feeding ordinal 0", sch)
+	}
+	if FusableEdges(outer) != 1 {
+		t.Fatalf("FusableEdges(σ→σ) = %d, want 1", FusableEdges(outer))
 	}
 }
 
@@ -164,6 +175,191 @@ func TestFusedStatsAttribution(t *testing.T) {
 	s := stats.String()
 	if !strings.Contains(s, "fusion: 1 intermediate indexes skipped") || !strings.Contains(s, "combinations streamed") {
 		t.Fatalf("stats string does not report fusion:\n%s", s)
+	}
+}
+
+// Batch-boundary edges of fused range-stream execution: an identity σ
+// feeding a band σ fuses with the envelope clip active (the output key is
+// the scanned key), so every case also exercises the clipped scan path.
+// Covered: the empty stream (the producer's predicate selects nothing),
+// probe batches larger than a morsel's combination count (finish must
+// cascade the partial batch through the stack), tiny batches forcing many
+// flushes with a partial last one, and scalar forwarding.
+func TestRangeStreamBatchEdges(t *testing.T) {
+	f := buildFixture(18)
+	outSpec := func(name string) OutputSpec {
+		return OutputSpec{
+			Name:     name,
+			Key:      SimpleKey("brand", 8),
+			KeyRefs:  []Ref{{Input: 0, Attr: "brand"}},
+			Cols:     []string{"prodkey"},
+			ColExprs: []RowExpr{Attr(0, "prodkey")},
+		}
+	}
+	mkPlan := func(innerPred, outerPred KeyPred) *Plan {
+		inner := &Selection{Input: &Base{Table: f.prodByBrand}, Pred: innerPred, Out: outSpec("ident")}
+		return &Plan{Root: &Selection{Input: inner, Pred: outerPred, Out: outSpec("band")}}
+	}
+	band := Between(2, 5)
+
+	want, _, err := mkPlan(nil, band).Run(Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := Extract(want).Rows
+	if len(wantRows) == 0 {
+		t.Fatal("band selects nothing — fixture changed?")
+	}
+	for _, opt := range []Options{
+		{},              // default batch ≫ 200 combinations: only finish flushes
+		{ProbeBatch: 3}, // many flushes, partial last batch
+		{ProbeBatch: 1}, // scalar forwarding
+		{ProbeBatch: 1024, Workers: 3, MorselsPerWorker: 3}, // batch spans every morsel's end
+		{ProbeBatch: 3, Workers: 3, MemBudget: 1},
+	} {
+		opt.CollectStats = true
+		out, stats, err := mkPlan(nil, band).Run(opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if stats.FusedEdges != 1 {
+			t.Fatalf("%+v: FusedEdges = %d, want 1", opt, stats.FusedEdges)
+		}
+		if !reflect.DeepEqual(Extract(out).Rows, wantRows) {
+			t.Fatalf("%+v: fused σ→σ result differs", opt)
+		}
+	}
+
+	// Empty stream: an empty (non-nil) inner predicate scans nothing; the
+	// chain must finish cleanly with zero batches and an empty output.
+	out, stats, err := mkPlan(KeyPred{}, band).Run(Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 0 {
+		t.Fatalf("empty stream produced %d rows", out.Rows())
+	}
+	if stats.Ops[0].ProbeBatches != 0 {
+		t.Fatalf("empty stream recorded %d probe batches", stats.Ops[0].ProbeBatches)
+	}
+}
+
+// Batch flushes into a deep probe target must key-sort before
+// forwarding. The driver streams a scrambled permutation, so batches
+// arrive unsorted, and the target holds ≥ probeSortMinKeys keys, so
+// sortPays picks the sorting path: narrow keys exercise the packed
+// key<<32|index sort, wide (≥ 2³²) keys the comparator fallback.
+func TestBatchSortPaths(t *testing.T) {
+	const nKeys = 2 * probeSortMinKeys
+	mkPlan := func(keyBits, shift uint) *Plan {
+		rng := rand.New(rand.NewSource(21))
+		tgtIdx := NewIndex(IndexConfig{KeyBits: keyBits, PayloadWidth: 1})
+		for i := 0; i < nKeys; i++ {
+			tgtIdx.Insert(uint64(i)<<shift, []uint64{uint64(rng.Intn(97))})
+		}
+		target := NewIndexedTable("target[k]", SimpleKey("k", keyBits), []string{"v"}, tgtIdx)
+		drvIdx := NewIndex(IndexConfig{KeyBits: 16, PayloadWidth: 1})
+		for a, i := range rng.Perm(nKeys) {
+			drvIdx.Insert(uint64(a), []uint64{uint64(i) << shift})
+		}
+		driver := NewIndexedTable("driver[a]", SimpleKey("a", 16), []string{"k"}, drvIdx)
+		sel := &Selection{
+			Input: &Base{Table: driver},
+			Out: OutputSpec{
+				Name:    "σ_driver",
+				Key:     SimpleKey("k", keyBits),
+				KeyRefs: []Ref{{Input: 0, Attr: "k"}},
+			},
+		}
+		return &Plan{Root: &Join{
+			Left:  &Base{Table: target},
+			Right: sel,
+			Out: OutputSpec{
+				Name:     "Γ_k",
+				Key:      SimpleKey("k", keyBits),
+				KeyRefs:  []Ref{{Input: 0, Attr: "k"}},
+				Cols:     []string{"sum_v"},
+				ColExprs: []RowExpr{Attr(0, "v")},
+				Fold:     FoldSum(0),
+			},
+		}}
+	}
+	for _, tc := range []struct {
+		name           string
+		keyBits, shift uint
+	}{
+		{"packed32", 16, 0},  // keys < 2³²: packed key<<32|index sort
+		{"wide-key", 48, 33}, // keys ≥ 2³²: comparator fallback
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, _, err := mkPlan(tc.keyBits, tc.shift).Run(Options{NoFuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows := Extract(want).Rows
+			if len(wantRows) != nKeys {
+				t.Fatalf("oracle has %d groups, want %d", len(wantRows), nKeys)
+			}
+			for _, opt := range []Options{
+				{},
+				{ProbeBatch: 7},
+				{Workers: 3, MorselsPerWorker: 3},
+			} {
+				opt.CollectStats = true
+				out, stats, err := mkPlan(tc.keyBits, tc.shift).Run(opt)
+				if err != nil {
+					t.Fatalf("%+v: %v", opt, err)
+				}
+				if stats.FusedEdges != 1 {
+					t.Fatalf("%+v: FusedEdges = %d, want 1", opt, stats.FusedEdges)
+				}
+				if !reflect.DeepEqual(Extract(out).Rows, wantRows) {
+					t.Fatalf("%+v: sorted-batch result differs from materialized", opt)
+				}
+			}
+		})
+	}
+}
+
+// Cancelling a query mid-stream under a memory budget must surface
+// ctx.Err() and drain every pin: the plan's deferred spill-manager Close
+// hangs on a leaked pin, so this test completing is the assertion.
+func TestFusedChainCancellationDrainsPins(t *testing.T) {
+	f := buildFixture(19)
+	qctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fed := 0
+	inner := &Selection{
+		Input: &Base{Table: f.factByProd},
+		Residual: func([]uint64) bool {
+			fed++
+			if fed == 5000 {
+				cancel() // mid-scan, with combinations buffered in the probe batch
+			}
+			return true
+		},
+		Out: OutputSpec{
+			Name:     "ident",
+			Key:      SimpleKey("prodkey", 16),
+			KeyRefs:  []Ref{{Input: 0, Attr: "prodkey"}},
+			Cols:     []string{"custkey", "qty"},
+			ColExprs: []RowExpr{Attr(0, "custkey"), Attr(0, "qty")},
+		},
+	}
+	outer := &Selection{
+		Input: inner,
+		Pred:  Between(0, 1<<16-1),
+		Out: OutputSpec{
+			Name:     "band",
+			Key:      SimpleKey("prodkey", 16),
+			KeyRefs:  []Ref{{Input: 0, Attr: "prodkey"}},
+			Cols:     []string{"custkey", "qty"},
+			ColExprs: []RowExpr{Attr(0, "custkey"), Attr(0, "qty")},
+		},
+	}
+	_, _, err := (&Plan{Root: outer}).RunCtx(qctx, nil, Options{MemBudget: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fused chain returned %v, want context.Canceled", err)
 	}
 }
 

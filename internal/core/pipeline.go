@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"time"
 
 	"qppt/internal/arena"
@@ -115,6 +116,23 @@ type sink struct {
 	// call. out is nil in this mode and flush is a no-op.
 	forward func(k uint64, row []uint64)
 	rowBuf  []uint64
+
+	// forwardBatch, when non-nil, replaces forward with batched delivery:
+	// assembled combinations accumulate in the recycler-backed probe
+	// buffer (fwKeys, plus fwRows at a flat rowWidth stride) and are
+	// handed over fwBatch at a time together with a key-sorted permutation
+	// — perm[j] indexes the j-th combination in key order, or perm is nil
+	// when arrival order already is key order — so the consumer's batched
+	// index probes walk shared tree descents once. batches counts the
+	// handoffs (OperatorStats.ProbeBatches).
+	forwardBatch func(keys, rows []uint64, perm []uint32)
+	fwBatch      int
+	fwArrival    bool // deliver batches in arrival order, never sort
+	fwKeys       []uint64
+	fwRows       []uint64
+	fwPerm       []uint32
+	fwSort       []uint64 // key<<32|index packing scratch for 32-bit keys
+	batches      int
 
 	keys      []uint64
 	rows      [][]uint64
@@ -273,6 +291,53 @@ func (p *pipeline) setForward(spec *OutputSpec, fw func(k uint64, row []uint64))
 	return nil
 }
 
+// setForwardBatch compiles the output spec like setForward but delivers
+// the assembled combinations in batches of (at most) batch combinations:
+// the fused producer's probe buffer. With sorted set, each batch is
+// key-sorted before delivery (unless it already arrives in key order);
+// otherwise batches go out in arrival order — the caller decides whether
+// the consumer can amortize sorted probes. The buffers come from the
+// pipeline's chunk recycler when one is active — per-worker probe
+// buffers then cycle through the pool instead of the heap — and go back
+// to it through release.
+func (p *pipeline) setForwardBatch(spec *OutputSpec, batch int, sorted bool, fw func(keys, rows []uint64, perm []uint32)) error {
+	s, err := p.compileSink(spec)
+	if err != nil {
+		return err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	s.forwardBatch = fw
+	s.fwBatch = batch
+	s.fwArrival = !sorted
+	s.fwKeys = arena.NewChunk[uint64](p.rec, batch)
+	if sorted {
+		s.fwPerm = arena.NewChunk[uint32](p.rec, batch)
+		s.fwSort = arena.NewChunk[uint64](p.rec, batch)
+	}
+	if s.rowWidth > 0 {
+		s.fwRows = arena.NewChunk[uint64](p.rec, batch*s.rowWidth)
+	}
+	p.snk = s
+	return nil
+}
+
+// release parks the sink's recycler-backed probe buffers back in the
+// pipeline's chunk pool. Call after finish; a non-batching pipeline (or
+// one without a recycler) is a no-op.
+func (p *pipeline) release() {
+	s := p.snk
+	if s == nil || s.forwardBatch == nil {
+		return
+	}
+	arena.PutChunk(p.rec, s.fwKeys)
+	arena.PutChunk(p.rec, s.fwPerm)
+	arena.PutChunk(p.rec, s.fwSort)
+	arena.PutChunk(p.rec, s.fwRows)
+	s.fwKeys, s.fwPerm, s.fwSort, s.fwRows = nil, nil, nil, nil
+}
+
 // feed pushes a completed base combination into the pipeline. The ctx slice
 // is copied; callers may reuse it.
 func (p *pipeline) feed(ctx []uint64) {
@@ -357,6 +422,21 @@ func (s *sink) feed(ctx []uint64, bufSize int) {
 		}
 		k = s.comp.Compose(s.fieldsBuf...)
 	}
+	if s.forwardBatch != nil {
+		s.fwKeys = append(s.fwKeys, k)
+		for _, e := range s.exprs {
+			if e.fn != nil {
+				s.fwRows = append(s.fwRows, e.fn(ctx))
+			} else {
+				s.fwRows = append(s.fwRows, ctx[e.off])
+			}
+		}
+		s.inserted++
+		if len(s.fwKeys) >= s.fwBatch {
+			s.flushForward()
+		}
+		return
+	}
 	if s.forward != nil {
 		s.rowBuf = s.rowBuf[:0]
 		for _, e := range s.exprs {
@@ -388,9 +468,82 @@ func (s *sink) feed(ctx []uint64, bufSize int) {
 	}
 }
 
-// flush issues the batched insert (materialization + indexing); a
+// flushForward hands the buffered probe batch to the consumer. A sorting
+// sink delivers in key order — equal keys keep their arrival order, so
+// the order is deterministic — which is what lets the consumer's
+// LookupBatch/InsertBatch amortize shared tree descents; an arrival-order
+// sink (fwArrival: the consumer cannot amortize sorted probes) skips all
+// of that. Either way a nil permutation tells the consumer to decode in
+// arrival order. Most sorting streams already arrive key-ordered (the
+// bottom scan is ordered and many links preserve its key), so the common
+// case pays one linear scan; unsorted batches of 32-bit keys sort packed
+// key<<32|index values, and only wider keys fall back to a comparator
+// sort through the permutation.
+func (s *sink) flushForward() {
+	n := len(s.fwKeys)
+	if n == 0 {
+		return
+	}
+	keys := s.fwKeys
+	if s.fwArrival {
+		s.batches++
+		s.forwardBatch(keys, s.fwRows, nil)
+		s.fwKeys, s.fwRows = s.fwKeys[:0], s.fwRows[:0]
+		return
+	}
+	sorted := true
+	var orKeys uint64
+	for i := 0; i < n; i++ {
+		orKeys |= keys[i]
+		if i > 0 && keys[i] < keys[i-1] {
+			sorted = false
+		}
+	}
+	s.batches++
+	switch {
+	case sorted:
+		s.forwardBatch(keys, s.fwRows, nil)
+	case orKeys < 1<<32:
+		// 32-bit keys (dimension and composed keys in practice): pack
+		// key<<32|index and value-sort — far cheaper than a comparator
+		// sort chasing the key array through the permutation. The index in
+		// the low bits makes the order stable by construction.
+		for i := 0; i < n; i++ {
+			s.fwSort = append(s.fwSort, keys[i]<<32|uint64(i))
+		}
+		slices.Sort(s.fwSort)
+		for _, v := range s.fwSort {
+			s.fwPerm = append(s.fwPerm, uint32(v))
+		}
+		s.forwardBatch(keys, s.fwRows, s.fwPerm)
+		s.fwSort, s.fwPerm = s.fwSort[:0], s.fwPerm[:0]
+	default:
+		for i := 0; i < n; i++ {
+			s.fwPerm = append(s.fwPerm, uint32(i))
+		}
+		slices.SortFunc(s.fwPerm, func(a, b uint32) int {
+			if keys[a] != keys[b] {
+				if keys[a] < keys[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		s.forwardBatch(keys, s.fwRows, s.fwPerm)
+		s.fwPerm = s.fwPerm[:0]
+	}
+	s.fwKeys, s.fwRows = s.fwKeys[:0], s.fwRows[:0]
+}
+
+// flush issues the batched insert (materialization + indexing); a batched
+// forwarding sink drains its probe buffer instead, and a scalar
 // forwarding sink never buffers, so flush is a no-op for it.
 func (s *sink) flush() {
+	if s.forwardBatch != nil {
+		s.flushForward()
+		return
+	}
 	if s.forward != nil || len(s.keys) == 0 {
 		return
 	}

@@ -47,9 +47,17 @@ func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
 	}
 	pp := getPtrs(len(keys))
 	ptrs := *pp
-	// Level 1: all root accesses back to back.
+	// Level 1: all root accesses back to back. Key-sorted batches (the
+	// fused chains' probe buffers arrive sorted) place same-bucket keys
+	// next to each other; reusing the previous root access then walks
+	// each shared bucket descent once instead of once per key.
+	lastIdx, lastPtr, haveLast := uint32(0), uint32(0), false
 	for i, key := range keys {
-		ptrs[i] = t.rootGet(checkKey(key) >> leafBits)
+		idx := checkKey(key) >> leafBits
+		if !haveLast || idx != lastIdx {
+			lastIdx, lastPtr, haveLast = idx, t.rootGet(idx), true
+		}
+		ptrs[i] = lastPtr
 	}
 	// Level 2: all node-slot accesses back to back, reusing ptrs for the
 	// resulting compact leaf pointers.

@@ -67,12 +67,27 @@ func (t *Tree) LookupBatch(keys []uint64, visit func(i int, lf *Leaf)) {
 	}
 	pending := len(jobs)
 	for level := 0; pending > 0; level++ {
+		// Key-sorted batches (the fused chains' probe buffers arrive
+		// sorted) place jobs that share a tree prefix next to each other;
+		// memoizing the last (node, fragment) slot read walks each shared
+		// descent once per level instead of once per job. The tree is not
+		// mutated during a lookup, so the memo can never go stale; unsorted
+		// batches still resolve correctly, they just rarely hit the memo.
+		memoNode, memoFrag := jobDone, uint64(0)
+		var memoRef arena.Ref
 		for i := range jobs {
 			j := &jobs[i]
 			if j.node == jobDone {
 				continue
 			}
-			r := arena.Ref(t.nodes.Block(j.node)[t.frag(j.key, level)])
+			f := t.frag(j.key, level)
+			var r arena.Ref
+			if j.node == memoNode && f == memoFrag {
+				r = memoRef
+			} else {
+				r = arena.Ref(t.nodes.Block(j.node)[f])
+				memoNode, memoFrag, memoRef = j.node, f, r
+			}
 			switch {
 			case r.IsNil():
 				j.node = jobDone

@@ -4,15 +4,18 @@ import (
 	"reflect"
 	"testing"
 
+	"qppt/internal/catalog"
 	"qppt/internal/core"
 )
 
 // TestFusionMatchesMaterialized asserts bit-identical results between
 // fused (default) and materialized (NoFuse) execution for every SSB
-// query, across plan shapes, serial and parallel execution, and with a
+// query, across plan shapes, serial and parallel execution, with a
 // sub-peak memory budget forcing the materialized intermediates through
-// the spill path. Fusion is purely an execution strategy; it must be
-// completely invisible in the output.
+// the spill path, and with both batched (default) and scalar
+// (ProbeBatch 1) probe forwarding inside the fused chains. Fusion is
+// purely an execution strategy; it must be completely invisible in the
+// output.
 func TestFusionMatchesMaterialized(t *testing.T) {
 	ds := testDataset(t)
 	for _, qid := range QueryIDs {
@@ -30,14 +33,96 @@ func TestFusionMatchesMaterialized(t *testing.T) {
 				{MemBudget: 1},
 				{Workers: 3, MorselsPerWorker: 3, MemBudget: 1},
 			} {
-				fused, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: useSJ, Exec: exec})
-				if err != nil {
-					t.Fatalf("Q%s fused (%+v): %v", qid, exec, err)
+				for _, probeBatch := range []int{0, 1} {
+					exec := exec
+					exec.ProbeBatch = probeBatch
+					fused, _, err := ds.RunQPPT(qid, PlanOptions{UseSelectJoin: useSJ, Exec: exec})
+					if err != nil {
+						t.Fatalf("Q%s fused (%+v): %v", qid, exec, err)
+					}
+					if !reflect.DeepEqual(ref.Rows, fused.Rows) {
+						t.Errorf("Q%s selectjoin=%v %+v: fused result differs (%d vs %d rows)",
+							qid, useSJ, exec, len(fused.Rows), len(ref.Rows))
+					}
 				}
-				if !reflect.DeepEqual(ref.Rows, fused.Rows) {
-					t.Errorf("Q%s selectjoin=%v %+v: fused result differs (%d vs %d rows)",
-						qid, useSJ, exec, len(fused.Rows), len(ref.Rows))
-				}
+			}
+		}
+	}
+}
+
+// TestRangeStreamFusionMatchesMaterialized covers the Selection/Having
+// fused-consumer kind on SSB data — a shape the canned SSB plans never
+// produce, so it is built by hand: a rid-keyed selection (the
+// decomposed-plan shape of flight 1) feeding a second selection with a
+// rid-range predicate. The σ→σ edge fuses as an ordered range stream;
+// results must be bit-identical to the materialized path across
+// serial/parallel execution, a sub-peak memory budget, and batched vs
+// scalar probe forwarding. The rid key is unique, so not even the
+// intra-key duplicate order caveat applies.
+func TestRangeStreamFusionMatchesMaterialized(t *testing.T) {
+	ds := testDataset(t)
+	ridBits := ds.Lineorder.Bits(catalog.RIDCol)
+	nRows := uint64(ds.Lineorder.Rows())
+	cols := []string{"lo_orderdate", "lo_extendedprice"}
+	colExprs := []core.RowExpr{core.Attr(0, "lo_orderdate"), core.Attr(0, "lo_extendedprice")}
+	mkPlan := func() *core.Plan {
+		discIdx := ds.Lineorder.MustIndex([]string{"lo_discount"}, "lo_orderdate", "lo_extendedprice")
+		inner := &core.Selection{
+			Input: &core.Base{Table: discIdx},
+			Pred:  core.Between(1, 3),
+			Out: core.OutputSpec{
+				Name:     "σ_discount",
+				Key:      core.SimpleKey(catalog.RIDCol, ridBits),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: catalog.RIDCol}},
+				Cols:     cols,
+				ColExprs: colExprs,
+			},
+		}
+		return &core.Plan{Root: &core.Selection{
+			Input: inner,
+			Pred:  core.Between(nRows/4, 3*nRows/4),
+			Out: core.OutputSpec{
+				Name:     "σ_band",
+				Key:      core.SimpleKey(catalog.RIDCol, ridBits),
+				KeyRefs:  []core.Ref{{Input: 0, Attr: catalog.RIDCol}},
+				Cols:     cols,
+				ColExprs: colExprs,
+			},
+		}}
+	}
+	ref, _, err := mkPlan().Run(core.Options{NoFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := core.Extract(ref).Rows
+	if len(refRows) == 0 {
+		t.Fatal("empty reference result — the predicates select nothing")
+	}
+	for _, exec := range []core.Options{
+		{},
+		{Workers: 3, MorselsPerWorker: 3},
+		{MemBudget: 1},
+		{Workers: 3, MorselsPerWorker: 3, MemBudget: 1},
+	} {
+		for _, probeBatch := range []int{0, 1} {
+			exec := exec
+			exec.ProbeBatch = probeBatch
+			exec.CollectStats = true
+			out, stats, err := mkPlan().Run(exec)
+			if err != nil {
+				t.Fatalf("%+v: %v", exec, err)
+			}
+			if stats.FusedEdges != 1 {
+				t.Fatalf("%+v: FusedEdges = %d, want 1 (σ→σ range stream)", exec, stats.FusedEdges)
+			}
+			if got := stats.Ops[0].FusedKind; got != "range-stream" {
+				t.Fatalf("%+v: fused edge kind %q, want range-stream", exec, got)
+			}
+			if probeBatch == 0 && stats.Ops[0].ProbeBatches == 0 {
+				t.Fatalf("%+v: batched forwarding recorded no probe batches", exec)
+			}
+			if !reflect.DeepEqual(core.Extract(out).Rows, refRows) {
+				t.Fatalf("%+v: range-stream fused result differs", exec)
 			}
 		}
 	}

@@ -29,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-0.3s}
-PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch|BenchmarkFusedChain'
+PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch|BenchmarkFusedChain|BenchmarkBatchedProbe'
 PKGS="./internal/core ./internal/prefixtree ./internal/kisstree"
 
 run_benches() { # $1 = count

@@ -131,3 +131,11 @@ func WithoutSelectJoin() QueryOption {
 func WithoutFusion() QueryOption {
 	return func(q *queryConfig) { q.exec.NoFuse = true }
 }
+
+// WithProbeBatch overrides the probe-forward batch size inside fused
+// chains (1 = scalar combination-at-a-time forwarding, 0 = default). The
+// result is identical at any setting; larger batches amortize shared tree
+// descents across the batch's sorted keys.
+func WithProbeBatch(n int) QueryOption {
+	return func(q *queryConfig) { q.exec.ProbeBatch = n }
+}

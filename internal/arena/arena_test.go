@@ -158,4 +158,3 @@ func TestArenaBytesCountsReservedCapacity(t *testing.T) {
 		t.Fatalf("after Reset: Bytes = %d, Len = %d", a.Bytes(), a.Len())
 	}
 }
-

@@ -53,7 +53,7 @@ type TableInfo struct {
 	// The lock is held across a build, so racing planners wait for the
 	// one build instead of duplicating the table scan.
 	idxMu   sync.Mutex
-	indexes map[string]*core.IndexedTable
+	indexes map[string]*core.IndexedTable // guarded by idxMu
 }
 
 // Table returns the metadata of a loaded table, or nil.
@@ -336,6 +336,7 @@ func (ti *TableInfo) refreshColBits() {
 	cols := ti.Schema.Cols()
 	maxes := make([]uint64, len(cols))
 	n := 0
+	//qpptvet:ignore ctxpoll bulk-load/DDL path: runs before the table is served, outside any query context
 	ti.Table.ScanCommitted(tiNow(ti), func(rid uint64, row []uint64) bool {
 		for i, v := range row {
 			if v > maxes[i] {
@@ -385,6 +386,7 @@ func (ti *TableInfo) Columns() map[string][]uint64 {
 		arrays[i] = make([]uint64, 0, n)
 		out[c.Name] = nil // placeholder; set after the scan
 	}
+	//qpptvet:ignore ctxpoll baseline loader path: one-shot materialization at load time, outside any query context
 	ti.Table.ScanCommitted(tiNow(ti), func(rid uint64, row []uint64) bool {
 		for i := range cols {
 			arrays[i] = append(arrays[i], row[i])

@@ -524,6 +524,7 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 		// it (the pin is never released — the manager is done). Close
 		// materializes any mmap-adopted chunks before unmapping.
 		if h := ex.handleOf(out); h != nil {
+			//qpptvet:ignore pinbalance intentionally permanent: the result index must outlive the manager (see comment above)
 			if err := h.PinCtx(ctx); err != nil {
 				return nil, nil, err
 			}
@@ -933,6 +934,7 @@ func Extract(t *IndexedTable) *Result {
 	r := &Result{Attrs: append(append([]string{}, t.Key.Attrs...), t.Cols...)}
 	comp := t.Key.Composer()
 	nk := len(t.Key.Attrs)
+	//qpptvet:ignore ctxpoll client-side materialization of a finished plan's result; there is no query context here
 	t.Idx.Iterate(func(k uint64, vals *duplist.List) bool {
 		emit := func(payload []uint64) bool {
 			row := make([]uint64, 0, nk+len(t.Cols))

@@ -44,7 +44,7 @@ func BenchmarkMergePartials(b *testing.B) {
 		}
 		b.Run(cfg.name+"/serial", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mergePartials(spec, partials, nil)
+				mergePartials(nil, spec, partials, nil)
 			}
 		})
 		for _, workers := range []int{2, 4, 8} {

@@ -263,9 +263,24 @@ func runMorsels(ec *ExecContext, spec *OutputSpec,
 // mergeRangeInto folds the [lo, hi] slice of every partial into idx, in
 // partial order. Aggregating outputs merge exactly because the fold is
 // applied again on insert; plain outputs concatenate their duplicate rows.
-func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, hi uint64) {
+// The merge polls ec on the abortTickMask cadence (one check per 1024
+// entries) and returns the cancellation error — a large merge range must
+// not keep folding rows into an output nobody will read. ec may be nil
+// (non-cancellable).
+func mergeRangeInto(ec *ExecContext, idx Index, spec *OutputSpec, partials []*IndexedTable, lo, hi uint64) error {
 	keys := make([]uint64, 0, DefaultBufferSize)
 	rows := make([][]uint64, 0, DefaultBufferSize)
+	ticks, cancelled := 0, false
+	poll := func() bool { // reports whether the merge must stop
+		ticks++
+		if ticks&abortTickMask != 0 {
+			return cancelled
+		}
+		if ec != nil && ec.err() != nil {
+			cancelled = true
+		}
+		return cancelled
+	}
 	flush := func() {
 		if len(keys) == 0 {
 			return
@@ -278,7 +293,13 @@ func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, h
 		keys, rows = keys[:0], rows[:0]
 	}
 	for _, p := range partials {
+		if cancelled {
+			break
+		}
 		p.Idx.Range(lo, hi, func(k uint64, vals *duplist.List) bool {
+			if poll() {
+				return false
+			}
 			if len(spec.Cols) == 0 {
 				for n := 0; n < vals.Len(); n++ {
 					keys = append(keys, k)
@@ -301,6 +322,10 @@ func mergeRangeInto(idx Index, spec *OutputSpec, partials []*IndexedTable, lo, h
 		flush() // rows alias partial memory; flush before moving on
 	}
 	flush()
+	if cancelled {
+		return ec.err()
+	}
+	return nil
 }
 
 // newOutputIndex creates the output index structure an OutputSpec asks
@@ -319,11 +344,14 @@ func newOutputIndex(spec *OutputSpec, rec *arena.Recycler) Index {
 
 // mergePartials is the sequential merge baseline: it folds per-worker
 // partial outputs into one final output index by re-insertion, scanning
-// the partials one after another over the full key space.
-func mergePartials(spec *OutputSpec, partials []*IndexedTable, rec *arena.Recycler) *IndexedTable {
+// the partials one after another over the full key space. ec may be nil
+// (non-cancellable); a cancelled merge returns the context's error.
+func mergePartials(ec *ExecContext, spec *OutputSpec, partials []*IndexedTable, rec *arena.Recycler) (*IndexedTable, error) {
 	idx := newOutputIndex(spec, rec)
-	mergeRangeInto(idx, spec, partials, 0, keySpaceMax(spec.Key.TotalBits()))
-	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx)
+	if err := mergeRangeInto(ec, idx, spec, partials, 0, keySpaceMax(spec.Key.TotalBits())); err != nil {
+		return nil, err
+	}
+	return NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx), nil
 }
 
 // parallelMergeMinKeys gates the parallel merge: below this many output
@@ -344,7 +372,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		total += p.Idx.Rows()
 	}
 	if !sched.parallel() || total < parallelMergeMinKeys {
-		return mergePartials(spec, partials, ec.rec), nil
+		return mergePartials(ec, spec, partials, ec.rec)
 	}
 	var lo, hi uint64
 	any := false
@@ -363,7 +391,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		any = true
 	}
 	if !any {
-		return mergePartials(spec, partials, ec.rec), nil
+		return mergePartials(ec, spec, partials, ec.rec)
 	}
 	// Two ranges per worker give the claiming loops room to balance ranges
 	// of uneven density without fragmenting the output into many shards.
@@ -378,7 +406,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 		his = append(his, rHi)
 	}
 	if len(los) < 2 {
-		return mergePartials(spec, partials, ec.rec), nil
+		return mergePartials(ec, spec, partials, ec.rec)
 	}
 	// Under a memory budget the worker partials are spillable state like
 	// any other intermediate: register them with the manager (all or
@@ -408,6 +436,7 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 			return err // cancelled: stop claiming merge ranges
 		}
 		for i, h := range phs {
+			//qpptvet:ignore pinbalance loop pins are balanced by the Unpin loop after the merge and the phs[:i] cleanup on error
 			if err := h.PinRangeCtx(ec.ctx, los[r], his[r]); err != nil {
 				for _, ph := range phs[:i] {
 					ph.Unpin()
@@ -416,11 +445,14 @@ func mergePartialsParallel(ec *ExecContext, spec *OutputSpec, partials []*Indexe
 			}
 		}
 		idx := newOutputIndex(spec, ec.rec)
-		mergeRangeInto(idx, spec, partials, los[r], his[r])
-		shards[r] = idx
+		mergeErr := mergeRangeInto(ec, idx, spec, partials, los[r], his[r])
 		for _, h := range phs {
 			h.Unpin()
 		}
+		if mergeErr != nil {
+			return mergeErr
+		}
+		shards[r] = idx
 		return nil
 	})
 	if phs != nil {

@@ -289,7 +289,7 @@ func TestMergePartialsParallelMatchesSerial(t *testing.T) {
 			}
 			partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 		}
-		serial := mergePartials(spec, partials, nil)
+		serial, _ := mergePartials(nil, spec, partials, nil)
 		ec := &ExecContext{opts: Options{Workers: 4}}
 		par, _ := mergePartialsParallel(ec, spec, partials)
 		if _, sharded := par.Idx.(*shardedIndex); !sharded {
@@ -347,7 +347,7 @@ func TestShardedIndexSemantics(t *testing.T) {
 		}
 		partials = append(partials, NewIndexedTable(spec.Name, spec.Key, spec.Cols, idx))
 	}
-	plain := mergePartials(spec, partials, nil)
+	plain, _ := mergePartials(nil, spec, partials, nil)
 	ec := &ExecContext{opts: Options{Workers: 3}}
 	sharded, _ := mergePartialsParallel(ec, spec, partials)
 	sh, ok := sharded.Idx.(*shardedIndex)

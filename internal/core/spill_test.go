@@ -65,7 +65,7 @@ func TestShardedIndexFreezeThaw(t *testing.T) {
 	if !ok {
 		t.Fatal("parallel merge did not shard")
 	}
-	plain := mergePartials(spec, partials, nil)
+	plain, _ := mergePartials(nil, spec, partials, nil)
 
 	fz := freezerOf(merged.Idx)
 	if fz == nil {
@@ -142,7 +142,7 @@ func TestShardedThawRollsBackOnError(t *testing.T) {
 	if !ok {
 		t.Fatal("parallel merge did not shard")
 	}
-	want := mergePartials(spec, partials, nil)
+	want, _ := mergePartials(nil, spec, partials, nil)
 
 	var buf bytes.Buffer
 	if err := sh.WriteSnapshot(&buf); err != nil {

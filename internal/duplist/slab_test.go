@@ -30,6 +30,7 @@ func TestSlabListMatchesPlainList(t *testing.T) {
 		if !reflect.DeepEqual(a.Rows(), b.Rows()) {
 			t.Fatalf("width %d: slab-backed rows differ from plain rows", width)
 		}
+		slab.Release()
 	}
 }
 
@@ -37,6 +38,7 @@ func TestSlabListMatchesPlainList(t *testing.T) {
 // independent, and the slab block count stays far below the key count.
 func TestSlabSharedAcrossLists(t *testing.T) {
 	slab := NewSlab()
+	defer slab.Release()
 	const keys = 5000
 	lists := make([]List, keys)
 	for i := range lists {
@@ -72,6 +74,7 @@ func TestSlabSharedAcrossLists(t *testing.T) {
 // folds in place afterwards.
 func TestSlabAggregate(t *testing.T) {
 	slab := NewSlab()
+	defer slab.Release()
 	l := Make(2)
 	fold := func(dst, src []uint64) { dst[0] += src[0]; dst[1] += src[1] }
 	for i := 1; i <= 10; i++ {
@@ -92,6 +95,7 @@ func TestSlabAggregate(t *testing.T) {
 // instead of panicking or splitting.
 func TestSlabWideRows(t *testing.T) {
 	slab := NewSlab()
+	defer slab.Release()
 	width := slabBlockWords + 3
 	l := Make(width)
 	row := make([]uint64, width)

@@ -1,0 +1,12 @@
+package closetrail_test
+
+import (
+	"testing"
+
+	"qppt/internal/lint/closetrail"
+	"qppt/internal/lint/qlinttest"
+)
+
+func TestCloseTrail(t *testing.T) {
+	qlinttest.Run(t, "testdata", closetrail.Analyzer, "trail")
+}

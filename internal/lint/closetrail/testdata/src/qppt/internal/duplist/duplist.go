@@ -1,0 +1,19 @@
+// Package duplist is a stub of qppt/internal/duplist for analyzer tests.
+package duplist
+
+import "qppt/internal/arena"
+
+// Slab is a stub chunked slab.
+type Slab struct{ rec *arena.Recycler }
+
+// NewSlab builds a slab on the global recycler.
+func NewSlab() *Slab { return NewSlabIn(nil) }
+
+// NewSlabIn builds a slab drawing chunks from rec.
+func NewSlabIn(rec *arena.Recycler) *Slab { return &Slab{rec: rec} }
+
+// Release returns the slab's chunks to the recycler.
+func (s *Slab) Release() {}
+
+// Push appends a value.
+func (s *Slab) Push(v uint64) {}

@@ -1,0 +1,17 @@
+// Package qppt is a stub of the qppt root package for analyzer tests.
+package qppt
+
+// Config mirrors the engine configuration.
+type Config struct{ SpillBudget int64 }
+
+// Engine is a stub long-lived query engine.
+type Engine struct{ open bool }
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) { return &Engine{open: true}, nil }
+
+// Close shuts the engine down.
+func (e *Engine) Close() error { e.open = false; return nil }
+
+// Exec runs a query.
+func (e *Engine) Exec(q string) (int, error) { return len(q), nil }

@@ -1,0 +1,118 @@
+// Package trail exercises the closetrail analyzer: locally created
+// Engine / spill.Manager / duplist.Slab / worker-local Recycler values
+// must reach Close/Release/Drain on every return path.
+package trail
+
+import (
+	"qppt"
+	"qppt/internal/arena"
+	"qppt/internal/duplist"
+	"qppt/internal/spill"
+)
+
+// Clean: the preferred form — defer right after the constructor.
+func deferClose() (int, error) {
+	e, err := qppt.New(qppt.Config{})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	return e.Exec("q")
+}
+
+// Flagged: the engine leaks on the early return.
+func leakOnEarlyReturn(q string) (int, error) {
+	e, err := qppt.New(qppt.Config{}) // want `qppt.Engine created here does not reach e.Close\(\) on every return path`
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.Exec(q)
+	if err != nil {
+		return 0, err // engine never closed on this path
+	}
+	e.Close()
+	return n, nil
+}
+
+// Clean: the error branch of the constructor itself is exempt.
+func closeAllPaths(q string) error {
+	m, err := spill.New(1<<20, "/tmp/spill")
+	if err != nil {
+		return err
+	}
+	m.Register(q)
+	m.Close()
+	return nil
+}
+
+// Flagged: no teardown at all.
+func leakManager() {
+	m, err := spill.New(1<<20, "/tmp/spill") // want `spill.Manager created here does not reach m.Close\(\) on every return path`
+	if err != nil {
+		return
+	}
+	m.Register("t")
+}
+
+// Flagged: a slab released on one branch only.
+func slabHalfReleased(n int) {
+	s := duplist.NewSlab() // want `duplist.Slab created here does not reach s.Release\(\) on every return path`
+	if n > 0 {
+		s.Push(uint64(n))
+		s.Release()
+	}
+}
+
+// Clean: released via a deferred closure.
+func slabDeferredClosure() {
+	s := duplist.NewSlabIn(nil)
+	defer func() { s.Release() }()
+	s.Push(1)
+}
+
+// Flagged: a worker-local recycler that is never drained strands its
+// chunk cache.
+func localNoDrain(root *arena.Recycler) {
+	lr := root.Local() // want `arena.Recycler created here does not reach lr.Drain\(\) on every return path`
+	_ = lr
+}
+
+// Clean: drained on the way out.
+func localDrained(root *arena.Recycler) {
+	lr := root.Local()
+	defer lr.Drain()
+	_ = duplist.NewSlabIn(lr)
+}
+
+// Clean: root recyclers are long-lived; only Local() obligates Drain.
+func rootRecycler() *arena.Recycler {
+	return arena.NewRecycler()
+}
+
+// Clean: ownership transfers with the return value.
+func openEngine() (*qppt.Engine, error) {
+	e, err := qppt.New(qppt.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Clean: storing the manager hands the obligation to the struct.
+type server struct{ m *spill.Manager }
+
+func (sv *server) init() error {
+	m, err := spill.New(1<<20, "/tmp/spill")
+	if err != nil {
+		return err
+	}
+	sv.m = m
+	return nil
+}
+
+// Suppressed: process-lifetime singleton, audited.
+func globalEngine() {
+	//qpptvet:ignore closetrail process-lifetime engine, closed by the exit handler
+	e, _ := qppt.New(qppt.Config{})
+	_ = e
+}

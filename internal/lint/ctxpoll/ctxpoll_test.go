@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"qppt/internal/lint/ctxpoll"
+	"qppt/internal/lint/qlinttest"
+)
+
+func TestCtxPoll(t *testing.T) {
+	qlinttest.Run(t, "testdata", ctxpoll.Analyzer, "scanx/internal/core")
+}

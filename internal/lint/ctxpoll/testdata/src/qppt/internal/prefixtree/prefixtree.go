@@ -1,0 +1,34 @@
+// Package prefixtree is a stub of qppt/internal/prefixtree for analyzer
+// tests.
+package prefixtree
+
+// Tree is a stub succinct prefix tree.
+type Tree struct{ keys []string }
+
+// Iterate visits every key in order.
+func (t *Tree) Iterate(visit func(k string) bool) {
+	for _, k := range t.keys {
+		if !visit(k) {
+			return
+		}
+	}
+}
+
+// Range visits keys in [lo, hi).
+func (t *Tree) Range(lo, hi string, visit func(k string) bool) {
+	for _, k := range t.keys {
+		if k >= lo && k < hi && !visit(k) {
+			return
+		}
+	}
+}
+
+// SyncScan co-iterates two trees.
+func SyncScan(a, b *Tree, visit func(k string) bool) {
+	a.Iterate(visit)
+}
+
+// SyncScanRange co-iterates two trees over [lo, hi).
+func SyncScanRange(a, b *Tree, lo, hi string, visit func(k string) bool) {
+	a.Range(lo, hi, visit)
+}

@@ -1,0 +1,14 @@
+// Package storage is a stub of qppt/internal/storage for analyzer tests.
+package storage
+
+// Table is a stub versioned table.
+type Table struct{ rows []int }
+
+// ScanCommitted visits every committed row.
+func (t *Table) ScanCommitted(visit func(row int) bool) {
+	for _, r := range t.rows {
+		if !visit(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package lint registers QPPT's domain invariant analyzers.
+//
+// Each analyzer encodes one invariant the type system cannot express —
+// pin balance on spill handles, arena reference escape, cancellation
+// poll cadence, lock-guarded field access, resource teardown trails.
+// They run together as cmd/qpptvet, either standalone or as a
+// `go vet -vettool` plugin; see the individual packages for the exact
+// rules and their documented heuristics.
+package lint
+
+import (
+	"qppt/internal/lint/closetrail"
+	"qppt/internal/lint/ctxpoll"
+	"qppt/internal/lint/lockguard"
+	"qppt/internal/lint/pinbalance"
+	"qppt/internal/lint/qlint"
+	"qppt/internal/lint/refescape"
+)
+
+// Suite returns every registered analyzer, in stable order. Adding an
+// analyzer here obligates unit tests (testdata + analysistest-style
+// _test.go) and fixture coverage; the registry tests enforce both.
+func Suite() []*qlint.Analyzer {
+	return []*qlint.Analyzer{
+		closetrail.Analyzer,
+		ctxpoll.Analyzer,
+		lockguard.Analyzer,
+		pinbalance.Analyzer,
+		refescape.Analyzer,
+	}
+}

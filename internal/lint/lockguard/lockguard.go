@@ -1,0 +1,209 @@
+// Package lockguard checks that struct fields annotated with a
+// "// guarded by <mu>" comment are only accessed with that mutex held.
+//
+// The annotation is machine-checked documentation: writing
+//
+//	idxMu   sync.Mutex
+//	indexes map[string]*core.IndexedTable // guarded by idxMu
+//
+// obligates every access to x.indexes to happen under x.idxMu. This pins
+// the race class fixed in PR 5's catalog work (the per-table index cache
+// read concurrently with BuildIndexCtx) so it cannot be reintroduced
+// silently: a new method touching the map without the lock is a vet
+// error, not a -race flake three sessions later.
+//
+// An access is considered protected when any of these hold:
+//
+//   - positionally, the last Lock/RLock/Unlock/RUnlock on x.<mu> before
+//     the access (deferred unlocks excluded — they run at exit) is a
+//     Lock or RLock in the same function body;
+//   - the enclosing function's name ends in "Locked" — the codebase's
+//     caller-holds-the-lock suffix convention (buildIndexLocked);
+//   - the base value is a local freshly built from a composite literal
+//     in the same body (constructor pattern: the value has not been
+//     published yet).
+//
+// These are mechanical approximations, not a proof — closures that run
+// after the region unlocks, or fresh locals leaked to goroutines, are
+// not tracked. Genuine exceptions carry
+// //qpptvet:ignore lockguard <reason> suppressions.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"qppt/internal/lint/qlint"
+)
+
+// Analyzer is the lockguard invariant checker.
+var Analyzer = &qlint.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated `// guarded by <mu>` are only accessed with that mutex held",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *qlint.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to the name of the
+// mutex field guarding it.
+func collectGuards(pass *qlint.Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardComment(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkFunc(pass *qlint.Pass, fd *ast.FuncDecl, guards map[types.Object]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds-the-lock convention
+	}
+	fresh := freshLocals(pass, fd.Body)
+	deferred := deferredCalls(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[s.Obj()]
+		if !guarded {
+			return true
+		}
+		base := qlint.ExprString(sel.X)
+		if fresh[base] {
+			return true
+		}
+		if heldAt(fd.Body, deferred, base+"."+mu, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but accessed without holding it; lock %s.%s first or move the access into a *Locked helper",
+			base, sel.Sel.Name, mu, base, mu)
+		return true
+	})
+}
+
+// freshLocals collects names of locals initialized from composite
+// literals in this body — constructor-pattern values not yet published.
+func freshLocals(pass *qlint.Pass, body *ast.BlockStmt) map[string]bool {
+	fresh := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				fresh[id.Name] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// deferredCalls collects the call expressions that appear directly under
+// a defer statement, so heldAt can ignore deferred unlocks.
+func deferredCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	def := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			def[d.Call] = true
+		}
+		return true
+	})
+	return def
+}
+
+// heldAt reports whether, positionally, the last lock operation on
+// muExpr ("ti.idxMu") before pos is a Lock or RLock. Deferred unlocks
+// are skipped: `mu.Lock(); defer mu.Unlock()` keeps the lock held for
+// the rest of the body.
+func heldAt(body *ast.BlockStmt, deferred map[*ast.CallExpr]bool, muExpr string, pos token.Pos) bool {
+	held := false
+	var last token.Pos = -1
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || deferred[call] {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || qlint.ExprString(sel.X) != muExpr {
+			return true
+		}
+		if call.Pos() <= last {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			held, last = true, call.Pos()
+		case "Unlock", "RUnlock":
+			held, last = false, call.Pos()
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"qppt/internal/lint/lockguard"
+	"qppt/internal/lint/qlinttest"
+)
+
+func TestLockGuard(t *testing.T) {
+	qlinttest.Run(t, "testdata", lockguard.Analyzer, "guard")
+}

@@ -1,0 +1,94 @@
+// Package guard exercises the lockguard analyzer with a scratch copy of
+// the PR 5 catalog race pattern: a per-table index cache guarded by a
+// dedicated mutex.
+package guard
+
+import "sync"
+
+// TableInfo mirrors catalog.TableInfo's index-cache corner.
+type TableInfo struct {
+	Name string
+
+	idxMu   sync.Mutex
+	indexes map[string]int // guarded by idxMu
+
+	statsMu sync.RWMutex
+	rows    int // guarded by statsMu
+}
+
+// Clean: lock held across the access, released by defer.
+func (ti *TableInfo) Index(col string) (int, bool) {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
+	idx, ok := ti.indexes[col]
+	return idx, ok
+}
+
+// Flagged: the PR 5 race — reading the cache without the lock.
+func (ti *TableInfo) IndexRacy(col string) (int, bool) {
+	idx, ok := ti.indexes[col] // want `ti.indexes is guarded by idxMu but accessed without holding it`
+	return idx, ok
+}
+
+// Flagged: writing without the lock is the other half of the race.
+func (ti *TableInfo) PutRacy(col string, idx int) {
+	if ti.indexes == nil { // want `ti.indexes is guarded by idxMu but accessed without holding it`
+		ti.indexes = map[string]int{} // want `ti.indexes is guarded by idxMu but accessed without holding it`
+	}
+	ti.indexes[col] = idx // want `ti.indexes is guarded by idxMu but accessed without holding it`
+}
+
+// Flagged: lock released before the access; positionally the last lock
+// operation before the read is the Unlock.
+func (ti *TableInfo) UnlockTooEarly(col string) int {
+	ti.idxMu.Lock()
+	n := len(ti.indexes)
+	ti.idxMu.Unlock()
+	return n + ti.indexes[col] // want `ti.indexes is guarded by idxMu but accessed without holding it`
+}
+
+// Clean: the Locked-suffix convention — the caller holds idxMu.
+func (ti *TableInfo) buildIndexLocked(col string) int {
+	idx := len(ti.indexes)
+	ti.indexes[col] = idx
+	return idx
+}
+
+// Clean: RLock counts for read access under an RWMutex.
+func (ti *TableInfo) Rows() int {
+	ti.statsMu.RLock()
+	defer ti.statsMu.RUnlock()
+	return ti.rows
+}
+
+// Flagged: RWMutex fields race like any other.
+func (ti *TableInfo) RowsRacy() int {
+	return ti.rows // want `ti.rows is guarded by statsMu but accessed without holding it`
+}
+
+// Clean: constructor pattern — a fresh local not yet published.
+func Load(name string, cols []string) *TableInfo {
+	ti := &TableInfo{Name: name}
+	ti.indexes = make(map[string]int, len(cols))
+	for i, c := range cols {
+		ti.indexes[c] = i
+	}
+	return ti
+}
+
+// Suppressed: audited single-writer phase.
+func (ti *TableInfo) seedBeforeServe(col string, idx int) {
+	//qpptvet:ignore lockguard called before the catalog is published to any session
+	ti.indexes[col] = idx
+}
+
+// Clean: the mutex field itself is not guarded.
+func (ti *TableInfo) withBoth(col string) int {
+	ti.idxMu.Lock()
+	n := ti.indexes[col]
+	ti.idxMu.Unlock()
+	ti.statsMu.RLock()
+	n += ti.rows
+	ti.statsMu.RUnlock()
+	return n
+}

@@ -1,0 +1,12 @@
+package pinbalance_test
+
+import (
+	"testing"
+
+	"qppt/internal/lint/pinbalance"
+	"qppt/internal/lint/qlinttest"
+)
+
+func TestPinBalance(t *testing.T) {
+	qlinttest.Run(t, "testdata", pinbalance.Analyzer, "pin")
+}

@@ -1,0 +1,25 @@
+// Package spill is a stub of qppt/internal/spill for analyzer tests: the
+// analyzers match types by package-path suffix ("internal/spill"), so
+// this stand-in exercises them without importing the real engine.
+package spill
+
+import "context"
+
+// Handle mirrors the pinning surface of the real spill.Handle.
+type Handle struct{ pins int }
+
+func (h *Handle) Pin() error                                           { h.pins++; return nil }
+func (h *Handle) PinCtx(ctx context.Context) error                     { h.pins++; return nil }
+func (h *Handle) PinRange(lo, hi uint64) error                         { h.pins++; return nil }
+func (h *Handle) PinRangeCtx(ctx context.Context, lo, hi uint64) error { h.pins++; return nil }
+func (h *Handle) Unpin()                                               { h.pins-- }
+func (h *Handle) Drop()                                                {}
+func (h *Handle) Detach() error                                        { return nil }
+
+// Manager mirrors the lifecycle surface of the real spill.Manager.
+type Manager struct{}
+
+func New(budget int64, dir string) (*Manager, error) { return &Manager{}, nil }
+
+func (m *Manager) Register(label string, obj any, size func() int) *Handle { return &Handle{} }
+func (m *Manager) Close() error                                            { return nil }

@@ -1,0 +1,87 @@
+package qlint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadTestdata type-checks one package from an analysistest-style tree:
+// root/src/<path>/*.go, with imports resolved first against root/src
+// (stub packages mimicking QPPT's internal APIs) and then against the
+// standard library via compiler export data. This is how analyzer unit
+// tests and the qpptvet smoke fixture load their cases.
+func LoadTestdata(root, path string) (*Package, error) {
+	gi := &gopathImporter{
+		root: root,
+		fset: token.NewFileSet(),
+		memo: map[string]*types.Package{},
+		pkgs: map[string]*Package{},
+	}
+	gi.std = importer.ForCompiler(gi.fset, "gc", func(p string) (io.ReadCloser, error) {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", p).Output()
+		if err != nil {
+			return nil, fmt.Errorf("qlint: resolving stdlib %q: %w", p, err)
+		}
+		f := strings.TrimSpace(string(out))
+		if f == "" {
+			return nil, fmt.Errorf("qlint: no export data for stdlib %q", p)
+		}
+		return os.Open(f)
+	})
+	if _, err := gi.Import(path); err != nil {
+		return nil, err
+	}
+	return gi.pkgs[path], nil
+}
+
+type gopathImporter struct {
+	root string
+	fset *token.FileSet
+	memo map[string]*types.Package
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+func (gi *gopathImporter) Import(path string) (*types.Package, error) {
+	if p, ok := gi.memo[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(gi.root, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		p, err := gi.std.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		gi.memo[path] = p
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("qlint: no Go files in %s", dir)
+	}
+	pkg, err := checkPackage(gi.fset, gi, path, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	gi.memo[path] = pkg.Types
+	gi.pkgs[path] = pkg
+	return pkg.Types, nil
+}

@@ -1,0 +1,171 @@
+package qlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadOptions configure Load.
+type LoadOptions struct {
+	// Dir is the working directory for go list (the module to analyze).
+	// Empty means the current directory.
+	Dir string
+	// Tests includes each package's in-package _test.go files (external
+	// X_test packages are not analyzed).
+	Tests bool
+}
+
+type listedPkg struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+	Error       *struct{ Err string }
+}
+
+// Load lists patterns with the go tool and type-checks every matched
+// package from source; dependencies are imported from compiler export
+// data (`go list -export`), so loading works offline and without any
+// third-party packages.
+func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(opts.Dir, append([]string{"-export", "-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPkg
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("qlint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	if opts.Tests {
+		// The test dep graph can pull in packages (testing, os/exec, ...)
+		// absent from the plain graph; absorb their export data. The
+		// synthetic "pkg.test" / "pkg [pkg.test]" entries are skipped —
+		// in-package test files are parsed into the base package below.
+		testPkgs, err := goList(opts.Dir, append([]string{"-export", "-deps", "-test"}, patterns...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range testPkgs {
+			if strings.ContainsAny(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+				continue
+			}
+			if p.Export != "" && exports[p.ImportPath] == "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("qlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var out []*Package
+	for _, t := range targets {
+		files := t.GoFiles
+		if opts.Tests {
+			files = append(append([]string{}, files...), t.TestGoFiles...)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one package from source files.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("qlint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("qlint: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func goList(dir string, args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,Name,Export,GoFiles,TestGoFiles,Standard,DepOnly,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(outPipe)
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("qlint: go list: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("qlint: go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}

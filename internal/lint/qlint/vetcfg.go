@@ -1,0 +1,82 @@
+package qlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package (the x/tools unitchecker protocol): source
+// files, the import map, and export-data locations for every
+// dependency. The field set was captured empirically from `go vet`
+// (go1.x); unknown fields are ignored on decode.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses one vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("qlint: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// LoadVetPackage type-checks the package described by cfg, resolving
+// imports through the export-data files the go command listed in
+// cfg.PackageFile.
+func LoadVetPackage(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	compImp := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("qlint: no package file for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped := cfg.ImportMap[path]; mapped != "" {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+	return checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+}
+
+func compilerOf(cfg *VetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

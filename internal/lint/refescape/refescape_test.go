@@ -1,0 +1,12 @@
+package refescape_test
+
+import (
+	"testing"
+
+	"qppt/internal/lint/qlinttest"
+	"qppt/internal/lint/refescape"
+)
+
+func TestRefEscape(t *testing.T) {
+	qlinttest.Run(t, "testdata", refescape.Analyzer, "refs")
+}

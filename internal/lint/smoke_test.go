@@ -1,0 +1,198 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qppt/internal/lint"
+	"qppt/internal/lint/qlint"
+)
+
+// fixtureDir is the smoke-test module: a miniature shadow of the real
+// API surface with one deliberate violation per analyzer.
+const fixtureDir = "testdata/fixture"
+
+// expected maps each analyzer to a substring of the finding it must
+// produce on the fixture. Keeping one entry per registered analyzer is
+// load-bearing: an analyzer added to Suite() without fixture coverage
+// fails TestFixtureCoversEveryAnalyzer below.
+var expected = map[string]string{
+	"pinbalance": "Pin on h is not released on every return path",
+	"refescape":  "arena.Ref stored in struct field c.ref",
+	"ctxpoll":    "ScanAll drives t.Iterate without a cancellation poll",
+	"lockguard":  "ti.indexes is guarded by idxMu but accessed without holding it",
+	"closetrail": "spill.Manager created here does not reach m.Close()",
+}
+
+// loadFixtureDiags runs the in-process suite over the fixture module.
+func loadFixtureDiags(t *testing.T) []qlint.Diagnostic {
+	t.Helper()
+	pkgs, err := qlint.Load(qlint.LoadOptions{Dir: fixtureDir}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []qlint.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := qlint.Run(lint.Suite(), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+	return diags
+}
+
+// TestFixtureCoversEveryAnalyzer: every registered analyzer must produce
+// its expected finding on the fixture module, and nothing else. A new
+// analyzer without a planted fixture violation — or an analyzer that
+// silently stops firing — fails here.
+func TestFixtureCoversEveryAnalyzer(t *testing.T) {
+	diags := loadFixtureDiags(t)
+	byAnalyzer := map[string][]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Message)
+	}
+	for _, a := range lint.Suite() {
+		want, ok := expected[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no expected fixture finding; plant a violation in %s and register it in the expected map", a.Name, fixtureDir)
+			continue
+		}
+		found := false
+		for _, msg := range byAnalyzer[a.Name] {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %s produced no fixture finding matching %q; got %v", a.Name, want, byAnalyzer[a.Name])
+		}
+	}
+	if len(diags) != len(lint.Suite()) {
+		var all []string
+		for _, d := range diags {
+			all = append(all, d.String())
+		}
+		t.Errorf("fixture produced %d findings, want exactly %d (one per analyzer):\n%s",
+			len(diags), len(lint.Suite()), strings.Join(all, "\n"))
+	}
+}
+
+// buildQpptvet compiles the vet tool once per test binary.
+func buildQpptvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qpptvet")
+	cmd := exec.Command("go", "build", "-o", bin, "qppt/cmd/qpptvet")
+	cmd.Dir = ".." // internal/lint -> module root is two up; go build resolves by package path anyway
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building qpptvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGoVetVettoolEndToEnd drives the real go vet -vettool protocol over
+// the fixture module and asserts every analyzer's finding comes back
+// through the go command.
+func TestGoVetVettoolEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := buildQpptvet(t)
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = abs
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on the violation fixture; output:\n%s", out)
+	}
+	for name, want := range expected {
+		marker := fmt.Sprintf("[%s] ", name)
+		if !strings.Contains(string(out), marker) || !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %s finding (%q):\n%s", name, want, out)
+		}
+	}
+}
+
+// TestStandaloneCleanModule: the standalone runner must exit 0 on a
+// clean package (the lint framework itself).
+func TestStandaloneCleanModule(t *testing.T) {
+	bin := buildQpptvet(t)
+	cmd := exec.Command(bin, "./internal/lint/qlint/")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("qpptvet on a clean package: %v\n%s", err, out)
+	}
+}
+
+// TestSuppressionSilencesFinding: a qpptvet:ignore comment with a reason
+// silences the finding; stripping the reason brings it back. Exercised
+// through the real loader on a copy of the fixture.
+func TestSuppressionSilencesFinding(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, fixtureDir, dir)
+	corePath := filepath.Join(dir, "internal/core/core.go")
+	src, err := os.ReadFile(corePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(src),
+		"\tm, err := spill.New(1<<20, \"/tmp/spill\")\n\tif err != nil {\n\t\treturn\n\t}\n\tm.Register(\"t\")",
+		"\t//qpptvet:ignore closetrail fixture exercises the suppression path\n\tm, err := spill.New(1<<20, \"/tmp/spill\")\n\tif err != nil {\n\t\treturn\n\t}\n\tm.Register(\"t\")", 1)
+	if patched == string(src) {
+		t.Fatal("fixture source changed; update the suppression patch")
+	}
+	if err := os.WriteFile(corePath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := qlint.Load(qlint.LoadOptions{Dir: dir}, "./internal/core/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := qlint.Run(lint.Suite(), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			if d.Analyzer == "closetrail" {
+				t.Errorf("suppressed closetrail finding still reported: %s", d)
+			}
+		}
+	}
+}
+
+func copyTree(t *testing.T, from, to string) {
+	t.Helper()
+	err := filepath.Walk(from, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(from, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(to, rel)
+		if info.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module fixture.example/qppt
+
+go 1.22

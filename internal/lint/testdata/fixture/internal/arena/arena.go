@@ -1,0 +1,12 @@
+// Package arena shadows qppt/internal/arena for the qpptvet fixture.
+package arena
+
+// Ref is a tagged compact pointer into arena storage.
+type Ref uint32
+
+// Arena is a stub chunked arena.
+type Arena struct{ n int }
+
+func (a *Arena) Alloc() Ref   { a.n++; return Ref(a.n) }
+func (a *Arena) Reset()       { a.n = 0 }
+func (a *Arena) At(r Ref) int { return int(r) }

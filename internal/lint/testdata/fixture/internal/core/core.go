@@ -1,0 +1,122 @@
+// Package core carries one deliberate violation per qpptvet analyzer
+// (and one clean counterpart each), so the smoke test can assert every
+// analyzer fires end-to-end. Line positions matter only loosely — the
+// smoke test matches on analyzer name, file, and message substrings.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"fixture.example/qppt/internal/arena"
+	"fixture.example/qppt/internal/prefixtree"
+	"fixture.example/qppt/internal/spill"
+)
+
+// ---- pinbalance ----
+
+// LeakPin pins a handle and loses it on the error path.
+func LeakPin(h *spill.Handle, work func() error) error {
+	if err := h.Pin(); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // pin leaked here
+	}
+	h.Unpin()
+	return nil
+}
+
+// BalancedPin is the preferred form.
+func BalancedPin(h *spill.Handle, work func() error) error {
+	if err := h.Pin(); err != nil {
+		return err
+	}
+	defer h.Unpin()
+	return work()
+}
+
+// ---- refescape ----
+
+// cache is not an arena-owned type; persisting a Ref in it dangles.
+type cache struct{ ref arena.Ref }
+
+// StoreRef smuggles a compact pointer into a long-lived struct.
+func StoreRef(c *cache, a *arena.Arena) {
+	c.ref = a.Alloc()
+}
+
+// LocalRef keeps the Ref on the stack — fine.
+func LocalRef(a *arena.Arena) int {
+	r := a.Alloc()
+	return a.At(r)
+}
+
+// ---- ctxpoll ----
+
+// ScanAll drives a full-tree iteration with no cancellation poll.
+func ScanAll(t *prefixtree.Tree) int {
+	n := 0
+	t.Iterate(func(k uint64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ScanPolled checks the context on a cadence.
+func ScanPolled(ctx context.Context, t *prefixtree.Tree) int {
+	n := 0
+	t.Iterate(func(k uint64) bool {
+		if n&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		n++
+		return true
+	})
+	return n
+}
+
+// ---- lockguard (the PR 5 catalog race pattern) ----
+
+// TableInfo shadows the catalog's per-table index cache.
+type TableInfo struct {
+	idxMu   sync.Mutex
+	indexes map[string]int // guarded by idxMu
+}
+
+// IndexRacy re-introduces the race: the cache read skips the lock.
+func (ti *TableInfo) IndexRacy(col string) (int, bool) {
+	idx, ok := ti.indexes[col]
+	return idx, ok
+}
+
+// Index takes the lock, as the annotation demands.
+func (ti *TableInfo) Index(col string) (int, bool) {
+	ti.idxMu.Lock()
+	defer ti.idxMu.Unlock()
+	idx, ok := ti.indexes[col]
+	return idx, ok
+}
+
+// ---- closetrail ----
+
+// LeakManager builds a spill manager and never closes it.
+func LeakManager() {
+	m, err := spill.New(1<<20, "/tmp/spill")
+	if err != nil {
+		return
+	}
+	m.Register("t")
+}
+
+// UseManager closes on every path.
+func UseManager() error {
+	m, err := spill.New(1<<20, "/tmp/spill")
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	m.Register("t")
+	return nil
+}

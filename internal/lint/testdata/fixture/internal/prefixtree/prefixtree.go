@@ -1,0 +1,15 @@
+// Package prefixtree shadows qppt/internal/prefixtree for the qpptvet
+// fixture.
+package prefixtree
+
+// Tree is a stub prefix tree.
+type Tree struct{ keys []uint64 }
+
+// Iterate visits every key in order.
+func (t *Tree) Iterate(visit func(k uint64) bool) {
+	for _, k := range t.keys {
+		if !visit(k) {
+			return
+		}
+	}
+}

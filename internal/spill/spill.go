@@ -432,6 +432,7 @@ func (h *Handle) Drop() {
 // the result must outlive the plan, but the manager must not keep
 // budgeting (or re-evicting) an index it can never see consumed again.
 func (h *Handle) Detach() error {
+	//qpptvet:ignore pinbalance balanced by the direct pins-- below, under m.mu where Unpin would deadlock
 	if err := h.Pin(); err != nil { // fully resident + transitions drained
 		return err
 	}

@@ -367,6 +367,7 @@ func TestManagerMmapThawAndMaterialize(t *testing.T) {
 	if !h.Frozen() {
 		t.Fatal("unpinned entry not re-frozen under pressure")
 	}
+	//qpptvet:ignore pinbalance the test deliberately closes the manager with this pin held
 	if err := h.Pin(); err != nil {
 		t.Fatal(err)
 	}

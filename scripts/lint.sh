@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the full local lint pass: gofmt, go vet, and the in-repo qpptvet
+# analyzer suite (internal/lint) through the real `go vet -vettool`
+# protocol — the same gate CI applies.
+#
+# Usage:
+#   scripts/lint.sh                 # lint the whole module
+#   scripts/lint.sh ./internal/core # lint specific packages
+#
+# Findings print as file:line:col: [analyzer] message. Silence a finding
+# only with an auditable reason on the flagged line or the line above:
+#
+#   //qpptvet:ignore <analyzer> <reason>
+#
+# A bare ignore without a reason suppresses nothing and is itself
+# reported. See README "Static analysis" for the analyzer catalogue.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+patterns=("$@")
+if [ ${#patterns[@]} -eq 0 ]; then
+  patterns=(./...)
+fi
+
+# gofmt: list offenders explicitly, skipping analyzer testdata trees
+# (their stub sources are inputs, not build targets — though they are
+# kept formatted too).
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+  echo "gofmt: unformatted files:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet =="
+go vet "${patterns[@]}"
+
+echo "== qpptvet (domain invariants) =="
+bin=$(mktemp -d)/qpptvet
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/qpptvet
+go vet -vettool="$bin" "${patterns[@]}"
+
+echo "lint: clean"

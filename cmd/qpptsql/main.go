@@ -61,6 +61,7 @@ func main() {
 	serve := flag.String("serve", "", "serve HTTP queries on this address (e.g. :8080) instead of the interactive shell")
 	exec := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	exec.ApplyRuntime()
 
 	cfg, err := exec.EngineConfig()
 	if err != nil {

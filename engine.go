@@ -28,6 +28,7 @@ import (
 
 	"qppt/internal/arena"
 	"qppt/internal/catalog"
+	"qppt/internal/kernel"
 	"qppt/internal/core"
 	"qppt/internal/spill"
 	"qppt/internal/sql"
@@ -142,6 +143,10 @@ type Stats struct {
 	// Spill aggregates the shared spill manager's activity under
 	// Config.MemBudget (zero without a budget).
 	Spill spill.Stats
+	// Kernel names the active batch-kernel dispatch target ("swar-amd64",
+	// "swar", or "generic" when the fallback oracle is forced via
+	// -nokernel / QPPT_KERNEL=off / a purego build).
+	Kernel string
 }
 
 // Stats snapshots the engine counters.
@@ -151,11 +156,12 @@ func (e *Engine) Stats() Stats {
 		Workers:  e.env.Workers(),
 		Recycler: e.env.RecyclerStats(),
 		Spill:    e.env.SpillStats(),
+		Kernel:   kernel.Mode(),
 	}
 }
 
 func (s Stats) String() string {
-	out := fmt.Sprintf("engine: %d queries on %d workers\n", s.Queries, s.Workers)
+	out := fmt.Sprintf("engine: %d queries on %d workers (batch kernels: %s)\n", s.Queries, s.Workers, s.Kernel)
 	r := s.Recycler
 	out += fmt.Sprintf("recycler: %d chunks parked (%s pooled), %d reused (%s of allocation avoided)",
 		r.Recycled, spill.FormatBytes(r.PooledBytes), r.Reused, spill.FormatBytes(r.SavedBytes))

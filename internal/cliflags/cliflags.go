@@ -11,6 +11,7 @@ import (
 
 	"qppt"
 	"qppt/internal/core"
+	"qppt/internal/kernel"
 	"qppt/internal/spill"
 )
 
@@ -26,6 +27,7 @@ type Exec struct {
 	MmapThaw   bool
 	NoFuse     bool
 	ProbeBatch int
+	NoKernel   bool
 }
 
 // Register declares the shared flags on fs (use flag.CommandLine for the
@@ -42,7 +44,17 @@ func Register(fs *flag.FlagSet) *Exec {
 	fs.BoolVar(&e.MmapThaw, "mmapthaw", false, "restore spilled intermediates via zero-copy mmap instead of copying")
 	fs.BoolVar(&e.NoFuse, "nofuse", false, "disable pipeline fusion: materialize every single-consumer intermediate index (fusion is on by default)")
 	fs.IntVar(&e.ProbeBatch, "probebatch", 0, "probe-forward batch size inside fused chains (1 = scalar forwarding, 0 = default; ignored under -nofuse)")
+	fs.BoolVar(&e.NoKernel, "nokernel", false, "disable the SWAR batch kernels: route tree descents and range-stream predicates through the scalar fallback")
 	return e
+}
+
+// ApplyRuntime applies the process-global knobs that live outside
+// core.Options / qppt.Config — currently the batch-kernel dispatch
+// switch. Call once after flag parsing, before running queries.
+func (e *Exec) ApplyRuntime() {
+	if e.NoKernel {
+		kernel.ForceGeneric()
+	}
 }
 
 // budget parses the -membudget value (0 when empty).

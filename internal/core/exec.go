@@ -221,8 +221,13 @@ func (ec *ExecContext) noteSink(p *pipeline) {
 	} else {
 		ec.opStats.TuplesIndexed += p.snk.inserted
 	}
-	ec.opStats.ProbeBatches += p.snk.batches
+	ec.opStats.ProbeBatches += p.snk.batches + p.fedBatches
+	ec.opStats.SortedFlushes += p.snk.sortedFlushes
+	ec.opStats.ArrivalFlushes += p.snk.arrivalFlushes
+	ec.opStats.StreamedIn += p.fedRows
 	ec.opStats.ProbeLookups += p.lookups
+	ec.opStats.KernelDescents += p.kernelDescents
+	ec.opStats.ScalarDescents += p.scalarDescents
 	ec.opStats.Workers++
 	ec.opStats.Morsels += p.morsels
 	ec.mu.Unlock()
@@ -254,12 +259,26 @@ type OperatorStats struct {
 	Fused          bool
 	FusedKind      string
 	TuplesStreamed int
-	// ProbeBatches counts the key-sorted batches a fused link handed to
-	// its consumer (0 under scalar forwarding, ProbeBatch <= 1);
-	// AvgBatchFill is TuplesStreamed per batch — how full the probe
-	// buffer ran against the configured ProbeBatch size.
-	ProbeBatches int
-	AvgBatchFill float64
+	// ProbeBatches counts the probe batches this operator took part in
+	// over fused edges (0 under scalar forwarding, ProbeBatch <= 1): for
+	// a producer (Fused) the batches its forwarding sink handed out,
+	// split into SortedFlushes (delivered or verified key-sorted) and
+	// ArrivalFlushes (arrival order); for a non-probing chain top
+	// (range-stream / select-probe consumer) the batches it received,
+	// with StreamedIn counting the combinations that survived the batch
+	// predicate filter. AvgBatchFill is combinations per batch — how full
+	// the probe buffer ran against the configured ProbeBatch size.
+	ProbeBatches   int
+	SortedFlushes  int
+	ArrivalFlushes int
+	StreamedIn     int
+	AvgBatchFill   float64
+	// KernelDescents/ScalarDescents split this operator's batched
+	// assisting-index lookups by the descent strategy the trees picked:
+	// the word-parallel SWAR kernel vs the scalar job loop (small
+	// batches, or kernels disabled via -nokernel / QPPT_KERNEL=off).
+	KernelDescents int
+	ScalarDescents int
 	// Workers is the number of pool workers that contributed a partial
 	// output; Morsels the number of key-range morsels they processed
 	// (1/1 for serial execution).
@@ -341,6 +360,9 @@ func (ps *PlanStats) String() string {
 	if ps.FusedEdges > 0 {
 		s += fmt.Sprintf("fusion: %d intermediate indexes skipped\n", ps.FusedEdges)
 	}
+	if kd, sd := ps.descents(); kd > 0 || sd > 0 {
+		s += fmt.Sprintf("kernels: %d SWAR descents, %d scalar\n", kd, sd)
+	}
 	for _, op := range ps.Ops {
 		if op.Fused {
 			kind := op.FusedKind
@@ -350,7 +372,8 @@ func (ps *PlanStats) String() string {
 			s += fmt.Sprintf("  %-24s %10v  fused %s: %d combinations streamed",
 				op.Label+" ⇒", op.Time.Round(time.Microsecond), kind, op.TuplesStreamed)
 			if op.ProbeBatches > 0 {
-				s += fmt.Sprintf(" in %d batches (avg fill %.1f)", op.ProbeBatches, op.AvgBatchFill)
+				s += fmt.Sprintf(" in %d batches (avg fill %.1f, %d sorted / %d arrival)",
+					op.ProbeBatches, op.AvgBatchFill, op.SortedFlushes, op.ArrivalFlushes)
 			}
 			s += "\n"
 			continue
@@ -361,12 +384,28 @@ func (ps *PlanStats) String() string {
 		if op.Workers > 1 {
 			s += fmt.Sprintf("  [%d workers, %d morsels]", op.Workers, op.Morsels)
 		}
+		if op.ProbeBatches > 0 {
+			// A non-probing chain top: batches received over the fused
+			// edge, combinations surviving the stream predicate.
+			s += fmt.Sprintf("  [%d stream batches in, %d kept, avg fill %.1f]",
+				op.ProbeBatches, op.StreamedIn, op.AvgBatchFill)
+		}
 		if op.Spills > 0 || op.Restores > 0 {
 			s += fmt.Sprintf("  [spilled ×%d, restored ×%d]", op.Spills, op.Restores)
 		}
 		s += "\n"
 	}
 	return s
+}
+
+// descents sums the per-operator kernel/scalar descent split for the
+// plan-level stats line and the engine's serve-mode counters.
+func (ps *PlanStats) descents() (kernel, scalar int) {
+	for _, op := range ps.Ops {
+		kernel += op.KernelDescents
+		scalar += op.ScalarDescents
+	}
+	return kernel, scalar
 }
 
 // A Plan is an executable QPPT operator DAG.

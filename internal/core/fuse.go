@@ -254,12 +254,13 @@ func fusedPipe(ec *ExecContext, op Operator, fo int, inputs []*IndexedTable) (*p
 		}
 		comp := inputs[0].Key.Composer()
 		ctx := make([]uint64, p.layout.width)
-		pred := c.Pred
 		accept := func(k uint64, row []uint64) {
 			// The selection predicate on the streamed key stands in for
-			// the key-range scan of the materialized path; feed then
+			// the key-range scan of the materialized path; wireForward
+			// evaluates it per batch (selection vector) or per key
+			// (scalar forwarding) before this hook runs, and feed then
 			// applies the selection residual before the main probe.
-			if !predMatch(pred, k) || p.aborted() {
+			if p.aborted() {
 				return
 			}
 			p.layout.fillKey(ctx, 0, k, comp)
@@ -274,14 +275,15 @@ func fusedPipe(ec *ExecContext, op Operator, fo int, inputs []*IndexedTable) (*p
 		}
 		comp := inputs[0].Key.Composer()
 		ctx := make([]uint64, p.layout.width)
-		pred := c.Pred
 		accept := func(k uint64, row []uint64) {
 			// Range-stream fusion: the key-sorted batches arriving here
 			// are the ordered range stream the materialized path would
-			// have scanned out of the intermediate index; the predicate
-			// runs on the stream, the residual inside feed, and nothing
-			// is ever indexed below the chain top.
-			if !predMatch(pred, k) || p.aborted() {
+			// have scanned out of the intermediate index. The predicate
+			// runs upstream of this hook — wireForward compacts each
+			// producer batch by selection vector (or wraps the scalar
+			// forward with predMatch) — the residual inside feed, and
+			// nothing is ever indexed below the chain top.
+			if p.aborted() {
 				return
 			}
 			p.layout.fillKey(ctx, 0, k, comp)
@@ -532,7 +534,9 @@ func (ex *executor) runChain(ch *fuseChain, e *memoEntry, stats *PlanStats) {
 			ec.opStats.Time = elapsed
 			ec.opStats.MaterializeTime = elapsed - ec.opStats.IndexTime
 			if ec.opStats.ProbeBatches > 0 {
-				ec.opStats.AvgBatchFill = float64(ec.opStats.TuplesStreamed) / float64(ec.opStats.ProbeBatches)
+				// Producers fill batches they streamed out; a non-probing
+				// chain top fills from the batches it received instead.
+				ec.opStats.AvgBatchFill = float64(ec.opStats.TuplesStreamed+ec.opStats.StreamedIn) / float64(ec.opStats.ProbeBatches)
 			}
 		}
 		e.st.OutRows = e.out.Rows()
@@ -602,15 +606,46 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 		}
 		return false
 	}
+	// streamPred returns the consumer's key predicate on the fused stream
+	// (nil: no predicate). Selection covers Having via the type alias.
+	streamPred := func(op Operator) KeyPred {
+		switch c := op.(type) {
+		case *Selection:
+			return c.Pred
+		case *SelectJoin:
+			return c.Pred
+		}
+		return nil
+	}
 	// wireForward attaches link i's forwarding sink: batched (the probe
 	// buffer hands the consumer's accept hook the batch, key-sorted when
-	// that pays) or scalar.
-	wireForward := func(i int, p *pipeline, spec *OutputSpec, accept func(k uint64, row []uint64)) error {
+	// that pays) or scalar. The consumer's stream predicate moves into
+	// the sink here: batched sinks evaluate it per batch into a selection
+	// vector (setForwardFilter), scalar forwarding wraps the accept hook
+	// with the per-key predMatch. consumer is the pipe the batches land
+	// in; a non-probing chain top (range-stream / select-probe) has no
+	// probe stages of its own, so the received-batch counts attributed
+	// here are the only batch stats it gets.
+	wireForward := func(i int, p *pipeline, spec *OutputSpec, accept func(k uint64, row []uint64), consumer *pipeline) error {
+		pred := streamPred(ch.links[i+1])
 		if probeBatch <= 1 {
+			if pred != nil {
+				inner := accept
+				accept = func(k uint64, row []uint64) {
+					if predMatch(pred, k) {
+						inner(k, row)
+					}
+				}
+			}
 			return p.setForward(spec, accept)
 		}
+		countIn := i+1 == n-1 && fusedKindOf(ch.links[i+1]) != "probe"
 		w := len(spec.Cols)
-		return p.setForwardBatch(spec, probeBatch, sortPays(i), func(keys, rows []uint64, perm []uint32) {
+		err := p.setForwardBatch(spec, probeBatch, sortPays(i), func(keys, rows []uint64, perm []uint32) {
+			if countIn {
+				consumer.fedBatches++
+				consumer.fedRows += len(keys)
+			}
 			if perm == nil { // arrival order (already sorted, or sorting skipped)
 				for i := range keys {
 					accept(keys[i], rows[i*w:i*w+w])
@@ -621,6 +656,10 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 				accept(keys[j], rows[int(j)*w:int(j)*w+w])
 			}
 		})
+		if err == nil && pred != nil {
+			p.setForwardFilter(pred)
+		}
+		return err
 	}
 	// newStack builds one worker's pipeline stack, wiring each link's
 	// forwarding sink to the accept hook of the link above, top-down.
@@ -638,7 +677,7 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 				if out, err = p.setSink(sinkSpec); err != nil {
 					return nil, nil, err
 				}
-			} else if err = wireForward(i, p, fuseSpec(ch.links[i]), accept); err != nil {
+			} else if err = wireForward(i, p, fuseSpec(ch.links[i]), accept, pipes[i+1]); err != nil {
 				return nil, nil, err
 			}
 			pipes[i] = p
@@ -649,7 +688,7 @@ func (ex *executor) driveChain(ch *fuseChain, ecs []*ExecContext, inputsOf [][]*
 			return nil, nil, err
 		}
 		p0.rec = rec
-		if err := wireForward(0, p0, fuseSpec(ch.links[0]), accept); err != nil {
+		if err := wireForward(0, p0, fuseSpec(ch.links[0]), accept, pipes[1]); err != nil {
 			return nil, nil, err
 		}
 		pipes[0] = p0

@@ -1,0 +1,13 @@
+//go:build amd64 && !purego
+
+package kernel
+
+// amd64 dispatch: the SWAR variants compile to branch-free scalar code
+// (SETcc, CMOV) here. A hand-written assembly variant drops in by adding
+// kernel_amd64.s plus a file like this one that rebinds the per-primitive
+// implementations (e.g. fragsSWAR -> fragsAVX2 behind a cpuid check) —
+// the exported wrappers and the generic oracle stay untouched.
+const (
+	defaultEnabled = true
+	dispatchMode   = "swar-amd64"
+)

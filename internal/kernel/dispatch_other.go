@@ -1,0 +1,11 @@
+//go:build !amd64 && !purego
+
+package kernel
+
+// Non-amd64 dispatch: the portable SWAR variants are still the fast path
+// (they are pure Go); only the mode label differs. Per-arch assembly for
+// other targets follows the same drop-in recipe as dispatch_amd64.go.
+const (
+	defaultEnabled = true
+	dispatchMode   = "swar"
+)

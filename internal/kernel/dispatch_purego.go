@@ -1,0 +1,11 @@
+//go:build purego
+
+package kernel
+
+// purego dispatch: the generic oracle is the default (QPPT_KERNEL=on can
+// still opt back into the portable SWAR variants at runtime). CI builds
+// and tests this configuration so the fallback path never rots.
+const (
+	defaultEnabled = false
+	dispatchMode   = "swar"
+)

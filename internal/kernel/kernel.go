@@ -1,0 +1,156 @@
+// Package kernel hosts the branch-free, word-parallel (SWAR-on-uint64)
+// batch primitives behind the batched pipeline's hot loops: key-fragment
+// extraction for the level-synchronous tree descent, range-predicate
+// bitmask evaluation and selection-vector compaction for range-stream
+// fusion, and the sortedness / min-max / packed-key scans used by the
+// forwarding sinks' packed sort path.
+//
+// Dispatch contract: every exported entry point has two implementations —
+// an optimized SWAR variant (swar.go, unrolled, bounds-check hoisted) and
+// a plain-loop generic variant (generic.go) that is the oracle in tests
+// and the permanent fallback. Which one runs is a process-global switch:
+//
+//   - the per-arch dispatch files (dispatch_*.go, selected by build tags)
+//     pick the default, so an arch-specific assembly variant can later
+//     drop in behind the same seam without touching call sites;
+//   - building with `-tags purego`, setting QPPT_KERNEL=off in the
+//     environment, or calling ForceGeneric routes everything through the
+//     generic oracle at runtime.
+//
+// Both variants are bit-identical by contract (enforced by differential
+// tests and FuzzKernelVsScalar) and allocation-free on every entry point.
+// The package deliberately operates on plain slices only — no arena refs,
+// no unsafe — so qpptvet's refescape analyzer has nothing to track here.
+package kernel
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// MinBatch is the smallest batch for which the word-parallel kernels are
+// worth their setup over the scalar per-key loop; callers gate batch-level
+// strategy choices on Batched rather than re-deriving a threshold.
+const MinBatch = 16
+
+var enabled atomic.Bool
+
+func init() {
+	on := defaultEnabled
+	switch os.Getenv("QPPT_KERNEL") {
+	case "off", "generic", "scalar", "0":
+		on = false
+	case "on", "swar", "1":
+		on = true
+	}
+	enabled.Store(on)
+}
+
+// Enabled reports whether the SWAR variants are active. When false every
+// entry point runs the generic oracle.
+func Enabled() bool { return enabled.Load() }
+
+// Batched reports whether a batch of n keys should take the kernelized
+// (level-synchronous / selection-vector) path rather than the scalar one.
+func Batched(n int) bool { return n >= MinBatch && enabled.Load() }
+
+// Mode names the active dispatch target ("swar", "swar-amd64", ...) or
+// "generic" when the fallback oracle is forced; surfaced in engine stats.
+func Mode() string {
+	if enabled.Load() {
+		return dispatchMode
+	}
+	return "generic"
+}
+
+// ForceGeneric switches every entry point to the generic oracle and
+// returns a func restoring the previous state. Used by the scalar leg of
+// ablations, the -nokernel CLI flag, and differential tests.
+func ForceGeneric() (restore func()) {
+	prev := enabled.Swap(false)
+	return func() { enabled.Store(prev) }
+}
+
+// MaskWords returns the number of uint64 bitmask words covering n rows.
+func MaskWords(n int) int { return (n + 63) / 64 }
+
+// Frags extracts the per-key fragment (keys[i]>>shift)&mask for a whole
+// batch into dst, which must be at least len(keys) long. This is the
+// level-synchronous descent's fragment pass: one unrolled, bounds-check
+// hoisted sweep per tree level instead of a shift+mask inside the per-key
+// resolve loop.
+func Frags(dst, keys []uint64, shift uint, mask uint64) {
+	if enabled.Load() {
+		fragsSWAR(dst, keys, shift, mask)
+		return
+	}
+	fragsGeneric(dst, keys, shift, mask)
+}
+
+// RangeMask ORs, into the little-endian bitmask words of mask, a set bit
+// for every keys[i] with lo <= keys[i] <= hi. The compare is branch-free
+// (unsigned wraparound trick: k-lo <= hi-lo). Callers clear mask before
+// the first range of a predicate; successive calls accumulate a union of
+// ranges. mask must hold MaskWords(len(keys)) words. Bits at positions
+// >= len(keys) are never set.
+func RangeMask(mask, keys []uint64, lo, hi uint64) {
+	if hi < lo { // empty range matches nothing
+		return
+	}
+	if enabled.Load() {
+		rangeMaskSWAR(mask, keys, lo, hi)
+		return
+	}
+	rangeMaskGeneric(mask, keys, lo, hi)
+}
+
+// MaskSel appends to sel the index of every set bit in the first n bit
+// positions of mask (ascending) and returns the extended slice. Bits at
+// positions >= n must be clear — RangeMask guarantees that. Together with
+// RangeMask this turns a per-row predicate callback into one bitmask pass
+// plus one compaction pass.
+func MaskSel(sel []uint32, mask []uint64, n int) []uint32 {
+	if enabled.Load() {
+		return maskSelSWAR(sel, mask, n)
+	}
+	return maskSelGeneric(sel, mask, n)
+}
+
+// MinMax returns the smallest and largest key in the batch in one
+// multi-accumulator pass; (0, 0) for an empty batch. Used for batch
+// envelope short-circuits before a full RangeMask evaluation.
+func MinMax(keys []uint64) (lo, hi uint64) {
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	if enabled.Load() {
+		return minMaxSWAR(keys)
+	}
+	return minMaxGeneric(keys)
+}
+
+// SortedOr reports whether keys is non-decreasing and the OR of all keys,
+// in a single fused pass — the forwarding sink's flush preamble (sorted
+// batches forward as-is; a small OR picks the packed 32-bit sort path).
+// An empty batch is sorted with OR 0.
+func SortedOr(keys []uint64) (sorted bool, or uint64) {
+	if len(keys) == 0 {
+		return true, 0
+	}
+	if enabled.Load() {
+		return sortedOrSWAR(keys)
+	}
+	return sortedOrGeneric(keys)
+}
+
+// PackKeyIdx appends keys[i]<<32|i for every i to dst and returns the
+// extended slice — the packed key+index words sorted by the forwarding
+// sink when all keys fit in 32 bits. Keys must be < 1<<32 and batches
+// must hold fewer than 1<<32 rows; both hold by construction (the caller
+// checks the OR of the batch, and batch sizes are small).
+func PackKeyIdx(dst, keys []uint64) []uint64 {
+	if enabled.Load() {
+		return packKeyIdxSWAR(dst, keys)
+	}
+	return packKeyIdxGeneric(dst, keys)
+}

@@ -1,0 +1,217 @@
+package kernel
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// Differential harness: every primitive's SWAR variant must be
+// bit-identical to the generic oracle on the same input. Cases sweep the
+// shapes the pipeline produces: empty, single, unroll-boundary lengths,
+// duplicates, full-width 64-bit keys.
+
+func testKeys(n int, seed int64, wide bool) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		if wide {
+			keys[i] = rng.Uint64()
+		} else {
+			keys[i] = uint64(rng.Intn(1 << 20))
+		}
+	}
+	return keys
+}
+
+var lengths = []int{0, 1, 3, 7, 8, 9, 15, 16, 63, 64, 65, 100, 511, 512}
+
+func TestFragsMatchesOracle(t *testing.T) {
+	for _, n := range lengths {
+		for _, wide := range []bool{false, true} {
+			keys := testKeys(n, int64(n)*2+1, wide)
+			for _, cfg := range []struct {
+				shift uint
+				mask  uint64
+			}{{0, 63}, {6, 1<<26 - 1}, {60, 15}, {0, ^uint64(0)}, {32, 1<<16 - 1}} {
+				got := make([]uint64, n)
+				want := make([]uint64, n)
+				fragsSWAR(got, keys, cfg.shift, cfg.mask)
+				fragsGeneric(want, keys, cfg.shift, cfg.mask)
+				if !slices.Equal(got, want) {
+					t.Fatalf("Frags n=%d wide=%v shift=%d mask=%#x: swar != generic", n, wide, cfg.shift, cfg.mask)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeMaskAndSelMatchOracle(t *testing.T) {
+	for _, n := range lengths {
+		for _, wide := range []bool{false, true} {
+			keys := testKeys(n, int64(n)*3+7, wide)
+			ranges := [][2]uint64{
+				{0, ^uint64(0)},        // all-in
+				{1, 0},                 // inverted: matches nothing (wrapper rejects)
+				{1 << 19, 1 << 20},     // partial
+				{^uint64(0), ^uint64(0)}, // all-miss for narrow keys
+			}
+			if n > 0 {
+				ranges = append(ranges, [2]uint64{keys[0], keys[0]}) // point range incl. duplicates
+			}
+			for _, r := range ranges {
+				words := MaskWords(n)
+				got := make([]uint64, words)
+				want := make([]uint64, words)
+				if r[0] <= r[1] { // wrapper-level guard under test separately
+					rangeMaskSWAR(got, keys, r[0], r[1])
+					rangeMaskGeneric(want, keys, r[0], r[1])
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("RangeMask n=%d wide=%v range=%v: swar != generic", n, wide, r)
+				}
+				gotSel := maskSelSWAR(nil, got, n)
+				wantSel := maskSelGeneric(nil, want, n)
+				if !slices.Equal(gotSel, wantSel) {
+					t.Fatalf("MaskSel n=%d wide=%v range=%v: swar != generic", n, wide, r)
+				}
+				if len(gotSel) != popcountWords(got) {
+					t.Fatalf("MaskSel n=%d: %d selected, %d bits set", n, len(gotSel), popcountWords(got))
+				}
+			}
+		}
+	}
+}
+
+func TestRangeMaskInvertedRangeIsEmpty(t *testing.T) {
+	keys := testKeys(64, 5, false)
+	mask := make([]uint64, MaskWords(len(keys)))
+	RangeMask(mask, keys, 10, 5)
+	if popcountWords(mask) != 0 {
+		t.Fatalf("inverted range set %d bits, want 0", popcountWords(mask))
+	}
+}
+
+func TestMinMaxMatchesOracle(t *testing.T) {
+	for _, n := range lengths {
+		if n == 0 {
+			if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+				t.Fatalf("MinMax(empty) = (%d, %d), want (0, 0)", lo, hi)
+			}
+			continue
+		}
+		for _, wide := range []bool{false, true} {
+			keys := testKeys(n, int64(n)*5+3, wide)
+			glo, ghi := minMaxSWAR(keys)
+			wlo, whi := minMaxGeneric(keys)
+			if glo != wlo || ghi != whi {
+				t.Fatalf("MinMax n=%d wide=%v: swar (%d,%d) != generic (%d,%d)", n, wide, glo, ghi, wlo, whi)
+			}
+		}
+	}
+}
+
+func TestSortedOrMatchesOracle(t *testing.T) {
+	for _, n := range lengths {
+		if n == 0 {
+			if sorted, or := SortedOr(nil); !sorted || or != 0 {
+				t.Fatalf("SortedOr(empty) = (%v, %d), want (true, 0)", sorted, or)
+			}
+			continue
+		}
+		for _, wide := range []bool{false, true} {
+			for _, presort := range []bool{false, true} {
+				keys := testKeys(n, int64(n)*7+11, wide)
+				if presort {
+					slices.Sort(keys)
+				}
+				gs, gor := sortedOrSWAR(keys)
+				ws, wor := sortedOrGeneric(keys)
+				if gs != ws || gor != wor {
+					t.Fatalf("SortedOr n=%d wide=%v presort=%v: swar (%v,%#x) != generic (%v,%#x)",
+						n, wide, presort, gs, gor, ws, wor)
+				}
+				if presort && !gs {
+					t.Fatalf("SortedOr n=%d: sorted input reported unsorted", n)
+				}
+			}
+		}
+	}
+}
+
+func TestPackKeyIdxMatchesOracle(t *testing.T) {
+	for _, n := range lengths {
+		keys := testKeys(n, int64(n)*11+13, false) // packed path only runs on 32-bit keys
+		got := packKeyIdxSWAR(nil, keys)
+		want := packKeyIdxGeneric(nil, keys)
+		if !slices.Equal(got, want) {
+			t.Fatalf("PackKeyIdx n=%d: swar != generic", n)
+		}
+		// Appending to a non-empty dst must leave the prefix intact.
+		prefix := []uint64{42, 43}
+		got2 := packKeyIdxSWAR(slices.Clone(prefix), keys)
+		if !slices.Equal(got2[:2], prefix) || !slices.Equal(got2[2:], want) {
+			t.Fatalf("PackKeyIdx n=%d: append clobbered prefix", n)
+		}
+	}
+}
+
+func TestForceGenericRestores(t *testing.T) {
+	wasEnabled := Enabled()
+	restore := ForceGeneric()
+	if Enabled() {
+		t.Fatal("ForceGeneric left kernels enabled")
+	}
+	if Mode() != "generic" {
+		t.Fatalf("Mode() = %q under ForceGeneric, want generic", Mode())
+	}
+	if Batched(1 << 10) {
+		t.Fatal("Batched reported true under ForceGeneric")
+	}
+	restore()
+	if Enabled() != wasEnabled {
+		t.Fatal("restore did not reinstate prior dispatch state")
+	}
+}
+
+func TestBatchedThreshold(t *testing.T) {
+	if !Enabled() {
+		t.Skip("kernels disabled in this configuration")
+	}
+	if Batched(MinBatch - 1) {
+		t.Fatalf("Batched(%d) = true below MinBatch", MinBatch-1)
+	}
+	if !Batched(MinBatch) {
+		t.Fatalf("Batched(%d) = false at MinBatch", MinBatch)
+	}
+}
+
+// Every kernel entry point must be allocation-free — they run once per
+// batch inside the probe hot loop. Mirrors TestLookupBatchAllocationFree.
+func TestKernelEntryPointsAllocationFree(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race instrumentation disables the append(dst, make(...)...) no-alloc optimization")
+	}
+	keys := testKeys(512, 99, false)
+	dst := make([]uint64, len(keys))
+	mask := make([]uint64, MaskWords(len(keys)))
+	sel := make([]uint32, 0, len(keys))
+	packed := make([]uint64, 0, len(keys))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Frags", func() { Frags(dst, keys, 6, 63) }},
+		{"RangeMask", func() { RangeMask(mask, keys, 100, 1<<19) }},
+		{"MaskSel", func() { sel = MaskSel(sel[:0], mask, len(keys)) }},
+		{"MinMax", func() { MinMax(keys) }},
+		{"SortedOr", func() { SortedOr(keys) }},
+		{"PackKeyIdx", func() { packed = PackKeyIdx(packed[:0], keys) }},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm: let MaskSel/PackKeyIdx reach steady-state capacity
+		if allocs := testing.AllocsPerRun(20, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

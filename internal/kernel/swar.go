@@ -1,0 +1,140 @@
+package kernel
+
+import "math/bits"
+
+// Optimized word-parallel variants. The shape is deliberately uniform:
+// full-slice reslices (k := keys[i:i+8:i+8]) hoist the bounds checks out
+// of the unrolled body, comparisons are rewritten as unsigned arithmetic
+// so the compiler emits SETcc instead of branches, and per-iteration
+// state lives in accumulator registers merged once at the end. Any
+// future arch-specific assembly replaces these bodies behind the same
+// names via a new dispatch_* file — the exported wrappers never change.
+
+// b2u converts a bool to 0/1 without a branch (compiles to SETcc+MOVZX).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fragsSWAR(dst, keys []uint64, shift uint, mask uint64) {
+	n := len(keys)
+	if len(dst) < n {
+		panic("kernel: Frags dst shorter than keys")
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		k := keys[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = (k[0] >> shift) & mask
+		d[1] = (k[1] >> shift) & mask
+		d[2] = (k[2] >> shift) & mask
+		d[3] = (k[3] >> shift) & mask
+		d[4] = (k[4] >> shift) & mask
+		d[5] = (k[5] >> shift) & mask
+		d[6] = (k[6] >> shift) & mask
+		d[7] = (k[7] >> shift) & mask
+	}
+	for ; i < n; i++ {
+		dst[i] = (keys[i] >> shift) & mask
+	}
+}
+
+func rangeMaskSWAR(mask, keys []uint64, lo, hi uint64) {
+	span := hi - lo // callers guarantee lo <= hi
+	n := len(keys)
+	for base, w := 0, 0; base < n; base, w = base+64, w+1 {
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		k := keys[base:end:end]
+		var word uint64
+		j := 0
+		for ; j+4 <= len(k); j += 4 {
+			// Unsigned wraparound in-range test: k-lo <= hi-lo holds
+			// exactly when lo <= k <= hi. Each compare is branch-free.
+			word |= b2u(k[j]-lo <= span) << uint(j)
+			word |= b2u(k[j+1]-lo <= span) << uint(j+1)
+			word |= b2u(k[j+2]-lo <= span) << uint(j+2)
+			word |= b2u(k[j+3]-lo <= span) << uint(j+3)
+		}
+		for ; j < len(k); j++ {
+			word |= b2u(k[j]-lo <= span) << uint(j)
+		}
+		mask[w] |= word
+	}
+}
+
+func maskSelSWAR(sel []uint32, mask []uint64, n int) []uint32 {
+	// Bits >= n are clear by the RangeMask contract, so every set bit is
+	// a survivor: peel them off lowest-first with TrailingZeros64.
+	for w := 0; w*64 < n; w++ {
+		m := mask[w]
+		base := uint32(w * 64)
+		for m != 0 {
+			sel = append(sel, base+uint32(bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
+	return sel
+}
+
+func minMaxSWAR(keys []uint64) (lo, hi uint64) {
+	lo0, hi0 := keys[0], keys[0]
+	lo1, hi1 := lo0, hi0
+	lo2, hi2 := lo0, hi0
+	lo3, hi3 := lo0, hi0
+	i := 1
+	for ; i+4 <= len(keys); i += 4 {
+		k := keys[i : i+4 : i+4]
+		lo0, hi0 = min(lo0, k[0]), max(hi0, k[0])
+		lo1, hi1 = min(lo1, k[1]), max(hi1, k[1])
+		lo2, hi2 = min(lo2, k[2]), max(hi2, k[2])
+		lo3, hi3 = min(lo3, k[3]), max(hi3, k[3])
+	}
+	for ; i < len(keys); i++ {
+		lo0, hi0 = min(lo0, keys[i]), max(hi0, keys[i])
+	}
+	return min(min(lo0, lo1), min(lo2, lo3)), max(max(hi0, hi1), max(hi2, hi3))
+}
+
+func sortedOrSWAR(keys []uint64) (sorted bool, or uint64) {
+	or = keys[0]
+	var desc uint64
+	prev := keys[0]
+	i := 1
+	for ; i+4 <= len(keys); i += 4 {
+		k := keys[i : i+4 : i+4]
+		or |= k[0] | k[1] | k[2] | k[3]
+		desc |= b2u(k[0] < prev) | b2u(k[1] < k[0]) | b2u(k[2] < k[1]) | b2u(k[3] < k[2])
+		prev = k[3]
+	}
+	for ; i < len(keys); i++ {
+		or |= keys[i]
+		desc |= b2u(keys[i] < prev)
+		prev = keys[i]
+	}
+	return desc == 0, or
+}
+
+func packKeyIdxSWAR(dst, keys []uint64) []uint64 {
+	n := len(keys)
+	off := len(dst)
+	dst = append(dst, make([]uint64, n)...)
+	out := dst[off : off+n : off+n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		k := keys[i : i+4 : i+4]
+		o := out[i : i+4 : i+4]
+		o[0] = k[0]<<32 | uint64(i)
+		o[1] = k[1]<<32 | uint64(i+1)
+		o[2] = k[2]<<32 | uint64(i+2)
+		o[3] = k[3]<<32 | uint64(i+3)
+	}
+	for ; i < n; i++ {
+		out[i] = keys[i]<<32 | uint64(i)
+	}
+	return dst
+}

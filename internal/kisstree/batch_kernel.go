@@ -1,0 +1,95 @@
+package kisstree
+
+import (
+	"sync"
+
+	"qppt/internal/kernel"
+)
+
+// Kernelized KISS batch lookup (the SWAR path behind LookupBatch).
+//
+// The scalar batch path recomputes shift/mask arithmetic per key inside
+// each level's access loop. The kernel path hoists all of it: one
+// kernel.Frags sweep extracts every key's root-bucket index, another its
+// node slot — both unrolled and bounds-check-free — so the per-level
+// loops reduce to pure memory accesses over precomputed fragments. The
+// root-access memo and the three level-synchronous passes (root, node,
+// content) are unchanged from the scalar path, which stays the oracle.
+
+const rootIdxMask = uint64(1)<<rootBits - 1
+
+// kissScratch holds the kernel path's parallel arrays: per-key root
+// index and node slot (extracted up front), and the compact pointer
+// chain reused across the level passes.
+type kissScratch struct {
+	idx  []uint64
+	slot []uint64
+	ptrs []uint32
+}
+
+var kissScratchPool = sync.Pool{New: func() any { return new(kissScratch) }}
+
+func getKissScratch(n int) *kissScratch {
+	ks := kissScratchPool.Get().(*kissScratch)
+	if cap(ks.idx) < n {
+		ks.idx = make([]uint64, n)
+		ks.slot = make([]uint64, n)
+		ks.ptrs = make([]uint32, n)
+	}
+	ks.idx = ks.idx[:n]
+	ks.slot = ks.slot[:n]
+	ks.ptrs = ks.ptrs[:n]
+	return ks
+}
+
+func (t *Tree) lookupBatchKernel(keys []uint64, visit func(i int, lf *Leaf)) {
+	n := len(keys)
+	ks := getKissScratch(n)
+	idxs, slots, ptrs := ks.idx, ks.slot, ks.ptrs
+	for _, k := range keys {
+		checkKey(k)
+	}
+	// Fragment sweeps: root-bucket index (bits 6..31) and node slot
+	// (bits 0..5) for the whole batch in two unrolled passes.
+	kernel.Frags(idxs, keys, leafBits, rootIdxMask)
+	kernel.Frags(slots, keys, 0, slotMask)
+	// Level 1: root accesses, memoizing the last bucket (sorted probe
+	// batches put same-bucket keys next to each other).
+	lastIdx, lastPtr, haveLast := uint64(0), uint32(0), false
+	for i, idx := range idxs {
+		if !haveLast || idx != lastIdx {
+			lastIdx, lastPtr, haveLast = idx, t.rootGet(uint32(idx)), true
+		}
+		ptrs[i] = lastPtr
+	}
+	// Level 2: node-slot accesses over the precomputed slots.
+	if t.cfg.Compress {
+		for i, ptr := range ptrs {
+			if ptr == 0 {
+				continue
+			}
+			cn := &t.cnodes[ptr-1]
+			slot := int(slots[i])
+			if cn.bitmap&(uint64(1)<<slot) == 0 {
+				ptrs[i] = 0
+				continue
+			}
+			ptrs[i] = cn.entries[onesBelow(cn.bitmap, slot)]
+		}
+	} else {
+		for i, ptr := range ptrs {
+			if ptr != 0 {
+				ptrs[i] = t.nodes.Block(ptr - 1)[slots[i]]
+			}
+		}
+	}
+	// Level 3: content accesses, independent across jobs.
+	for i, lp := range ptrs {
+		if lp == 0 {
+			visit(i, nil)
+		} else {
+			visit(i, t.leaves.At(lp-1))
+		}
+	}
+	kissScratchPool.Put(ks)
+}

@@ -1,0 +1,74 @@
+package kisstree
+
+import (
+	"math/rand"
+	"testing"
+
+	"qppt/internal/kernel"
+)
+
+// TestKissKernelMatchesScalar is the differential check for the two
+// paths behind LookupBatch: the kernelized fragment-sweep descent must be
+// bit-identical to the scalar loop — same hit set, same leaf identity,
+// same visit order — on both node layouts, across hits, misses,
+// duplicates, and empty batches.
+func TestKissKernelMatchesScalar(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		tr := MustNew(Config{Compress: compress})
+		rng := rand.New(rand.NewSource(71))
+		present := make([]uint64, 400)
+		for i := range present {
+			present[i] = uint64(rng.Uint32())
+		}
+		tr.InsertBatch(present, nil)
+
+		batch := append([]uint64(nil), present...) // hits
+		batch = append(batch, present[:64]...)     // duplicates
+		for i := 0; i < 300; i++ {                 // mostly misses
+			batch = append(batch, uint64(rng.Uint32()))
+		}
+		for _, probes := range [][]uint64{batch, batch[:0], batch[len(present) : len(present)+64]} {
+			type hit struct {
+				i  int
+				lf *Leaf
+			}
+			var ker, sca []hit
+			tr.lookupBatchKernel(probes, func(i int, lf *Leaf) { ker = append(ker, hit{i, lf}) })
+			tr.lookupBatchScalar(probes, func(i int, lf *Leaf) { sca = append(sca, hit{i, lf}) })
+			if len(ker) != len(sca) {
+				t.Fatalf("compress=%v n=%d: kernel visited %d, scalar %d", compress, len(probes), len(ker), len(sca))
+			}
+			for i := range ker {
+				if ker[i] != sca[i] {
+					t.Fatalf("compress=%v n=%d: visit %d differs", compress, len(probes), i)
+				}
+			}
+		}
+	}
+}
+
+// TestKissKernelAllocationFree mirrors TestKissBatchAllocationFree for
+// the kernelized descent.
+func TestKissKernelAllocationFree(t *testing.T) {
+	if kernel.RaceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector, so pooled scratch allocates by design")
+	}
+	keys := kissBenchKeys(1<<12, 73)
+	tr := MustNew(Config{})
+	for _, k := range keys {
+		tr.Insert(k, nil)
+	}
+	tr.lookupBatchKernel(keys[:512], func(int, *Leaf) {}) // warm the pool
+	var sink uint64
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.lookupBatchKernel(keys[:512], func(_ int, lf *Leaf) {
+			if lf != nil {
+				sink += lf.Key
+			}
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("lookupBatchKernel allocates %.1f objects per batch, want 0", allocs)
+	}
+	_ = sink
+}

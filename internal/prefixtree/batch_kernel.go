@@ -1,0 +1,114 @@
+package prefixtree
+
+import (
+	"sync"
+
+	"qppt/internal/arena"
+	"qppt/internal/kernel"
+)
+
+// Level-synchronous kernel descent (the SWAR path behind LookupBatch).
+//
+// The scalar job loop interleaves three concerns per key per level:
+// fragment extraction, bucket load, and survivor bookkeeping. The kernel
+// descent splits the level into passes over parallel arrays instead:
+// kernel.Frags extracts every pending key's fragment for the level in one
+// unrolled bounds-check-free sweep, then one resolve pass walks the
+// fragments against the level's buckets (keeping the scalar path's
+// last-(node,frag) memo, which sorted probe batches hit constantly) and
+// compacts the surviving keys to the front of the arrays. Dead jobs stop
+// costing anything on deeper levels — the scalar loop keeps skipping them
+// — and the fragment sweep vectorizes because it touches no tree state.
+
+// descentScratch holds the kernel descent's parallel arrays: the
+// surviving keys (compacted each level), their fragments for the current
+// level, their current node ordinals, their original batch positions, and
+// the per-original-position resolved leaf index + 1 (0 = absent).
+type descentScratch struct {
+	keys  []uint64
+	frags []uint64
+	nodes []uint32
+	pos   []uint32
+	leaf  []uint32
+}
+
+var descentPool = sync.Pool{New: func() any { return new(descentScratch) }}
+
+func getDescent(n int) *descentScratch {
+	ds := descentPool.Get().(*descentScratch)
+	if cap(ds.keys) < n {
+		ds.keys = make([]uint64, n)
+		ds.frags = make([]uint64, n)
+		ds.nodes = make([]uint32, n)
+		ds.pos = make([]uint32, n)
+		ds.leaf = make([]uint32, n)
+	}
+	ds.keys = ds.keys[:n]
+	ds.frags = ds.frags[:n]
+	ds.nodes = ds.nodes[:n]
+	ds.pos = ds.pos[:n]
+	ds.leaf = ds.leaf[:n]
+	return ds
+}
+
+func (t *Tree) lookupBatchKernel(keys []uint64, visit func(i int, lf *Leaf)) {
+	n := len(keys)
+	ds := getDescent(n)
+	skeys, frags, nodes, pos, leaf := ds.keys, ds.frags, ds.nodes, ds.pos, ds.leaf
+	for i, k := range keys {
+		t.checkKey(k)
+		skeys[i] = k
+		nodes[i] = rootNode
+		pos[i] = uint32(i)
+		leaf[i] = 0
+	}
+	pending := n
+	for level := 0; pending > 0; level++ {
+		// The last level's fragment may be narrower than PrefixLen; fold
+		// that into (shift, mask) once so the kernel sweep stays uniform.
+		shift := int(t.cfg.KeyBits) - (level+1)*int(t.cfg.PrefixLen)
+		m := t.mask
+		if shift <= 0 {
+			m >>= uint(-shift)
+			shift = 0
+		}
+		kernel.Frags(frags[:pending], skeys[:pending], uint(shift), m)
+		memoNode, memoFrag := jobDone, uint64(0)
+		var memoRef arena.Ref
+		w := 0
+		for i := 0; i < pending; i++ {
+			nd, f := nodes[i], frags[i]
+			var r arena.Ref
+			if nd == memoNode && f == memoFrag {
+				r = memoRef
+			} else {
+				r = arena.Ref(t.nodes.Block(nd)[f])
+				memoNode, memoFrag, memoRef = nd, f, r
+			}
+			switch {
+			case r.IsNil():
+				// dead: drop from the survivor set
+			case r.IsLeaf():
+				if li := r.Index(); t.leaf(li).Key == skeys[i] {
+					leaf[pos[i]] = li + 1
+				}
+			default:
+				skeys[w] = skeys[i]
+				nodes[w] = r.Index()
+				pos[w] = pos[i]
+				w++
+			}
+		}
+		pending = w
+	}
+	// Deliver in original batch order — bit-identical to the scalar path,
+	// which downstream row ordering depends on.
+	for i := range keys {
+		if lp := leaf[i]; lp != 0 {
+			visit(i, t.leaf(lp-1))
+		} else {
+			visit(i, nil)
+		}
+	}
+	descentPool.Put(ds)
+}

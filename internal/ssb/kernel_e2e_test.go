@@ -1,0 +1,57 @@
+package ssb
+
+import (
+	"reflect"
+	"testing"
+
+	"qppt/internal/core"
+	"qppt/internal/kernel"
+)
+
+// TestKernelMatchesScalarAndMaterialized is the acceptance gate for the
+// SWAR batch kernels: every SSB query, run with the kernels active
+// (default dispatch), forced through the scalar fallback
+// (kernel.ForceGeneric — the -nokernel / QPPT_KERNEL=off path), and
+// fully materialized (NoFuse), must produce bit-identical results —
+// serially, in parallel, and under a sub-peak memory budget that pushes
+// intermediates through the spill path. The kernels are an inner-loop
+// strategy; nothing about them may be visible in the output.
+func TestKernelMatchesScalarAndMaterialized(t *testing.T) {
+	if !kernel.Enabled() {
+		t.Skip("kernels disabled in this configuration; the fallback is the only path")
+	}
+	ds := testDataset(t)
+	for _, qid := range QueryIDs {
+		ref, _, err := ds.RunQPPT(qid, PlanOptions{Exec: core.Options{NoFuse: true}})
+		if err != nil {
+			t.Fatalf("Q%s materialized: %v", qid, err)
+		}
+		for _, exec := range []core.Options{
+			{},
+			{Workers: 3, MorselsPerWorker: 3},
+			{MemBudget: 1},
+		} {
+			withKernel, _, err := ds.RunQPPT(qid, PlanOptions{Exec: exec})
+			if err != nil {
+				t.Fatalf("Q%s kernel (%+v): %v", qid, exec, err)
+			}
+			restore := kernel.ForceGeneric()
+			scalar, serr := func() (*QueryResult, error) {
+				r, _, e := ds.RunQPPT(qid, PlanOptions{Exec: exec})
+				return r, e
+			}()
+			restore()
+			if serr != nil {
+				t.Fatalf("Q%s scalar (%+v): %v", qid, exec, serr)
+			}
+			if !reflect.DeepEqual(withKernel.Rows, scalar.Rows) {
+				t.Errorf("Q%s %+v: kernel result differs from scalar fallback (%d vs %d rows)",
+					qid, exec, len(withKernel.Rows), len(scalar.Rows))
+			}
+			if !reflect.DeepEqual(withKernel.Rows, ref.Rows) {
+				t.Errorf("Q%s %+v: kernel result differs from materialized (%d vs %d rows)",
+					qid, exec, len(withKernel.Rows), len(ref.Rows))
+			}
+		}
+	}
+}

@@ -11,8 +11,10 @@
 #
 # The benchmark set covers the engine's hot kernels: the parallel
 # partition-wise merge, batched prefix-tree/KISS lookup and insert (arena
-# and pointer layouts), the synchronous index scan, and the fused-chain
-# plan execution (fused vs materialized, serial and parallel). Benchmarks
+# and pointer layouts), the synchronous index scan, the fused-chain
+# plan execution (fused vs materialized, serial and parallel), and the
+# SWAR batch kernels (level-synchronous probe descent kernel vs scalar,
+# and the range-stream selection-vector path). Benchmarks
 # run with -benchmem, so cmd/benchdiff gates allocs/op next to ns/op —
 # allocation regressions on the hot kernels fail CI even when wall time
 # hides them in runner noise.
@@ -29,8 +31,8 @@ cd "$(dirname "$0")/.."
 
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-0.3s}
-PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch|BenchmarkFusedChain|BenchmarkBatchedProbe'
-PKGS="./internal/core ./internal/prefixtree ./internal/kisstree"
+PATTERN='BenchmarkMergePartials|BenchmarkInsertBatch|BenchmarkLookupBatch|BenchmarkSyncScan|BenchmarkKissLookupBatch|BenchmarkKissInsertBatch|BenchmarkFusedChain|BenchmarkBatchedProbe|BenchmarkProbeKernel|BenchmarkRangeStreamKernel'
+PKGS="./internal/core ./internal/prefixtree ./internal/kisstree ./internal/kernel"
 
 run_benches() { # $1 = count
   go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$1" $PKGS

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|fusion|probe|kernel|engine|all
+//	qpptbench -fig 3a|3b|7|8|9|joinbuffer|workers|kprime|compression|duplicates|batch|memlife|fusion|probe|kernel|engine|serve|all
 //	          [-sf 0.5] [-reps 3] [-sizes 1000000,4000000,16000000]
 //	          [-workers N] [-morsels M] [-buffer B] [-membudget 256MiB]
 //	          [-recycle] [-mmapthaw]
@@ -46,6 +46,12 @@
 // qppt.Engine configuration) and records both row sets in the snapshot —
 // the cross-plan resource-reuse trajectory of the Engine/Session API.
 //
+// -fig serve drives the serving tier: sweeps of concurrent wire-protocol
+// clients (in-process pipes, full handshake/framing) running the suite
+// through one engine, reporting throughput, admission-queue waits and
+// statement-cache hits. -max-plans enables the admission gate for the
+// sweep; -reps sets the passes per client.
+//
 // Absolute numbers will differ from the paper's C/C++ system; the point
 // is to reproduce the shapes: who wins, by roughly what factor, and where
 // the crossovers fall. EXPERIMENTS.md records paper-vs-measured values.
@@ -87,6 +93,7 @@ type benchSnapshot struct {
 	Fusion  []bench.FusionRow  `json:"fusion,omitempty"`
 	Probe   []bench.ProbeRow   `json:"probe,omitempty"`
 	Kernel  []bench.KernelRow  `json:"kernel,omitempty"`
+	Serve   []bench.ServeRow   `json:"serve,omitempty"`
 }
 
 // benchHistory is the BENCH_qppt.json layout: snapshots in append order.
@@ -125,7 +132,7 @@ func appendSnapshot(path string, snap benchSnapshot) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, fusion, probe, kernel, engine, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 7, 8, 9, joinbuffer, workers, kprime, compression, duplicates, batch, memlife, fusion, probe, kernel, engine, serve, all")
 	sf := flag.Float64("sf", 0.5, "SSB scale factor for figures 7-9 (the paper uses 15)")
 	reps := flag.Int("reps", 3, "repetitions per query timing (best-of)")
 	sizesFlag := flag.String("sizes", "1000000,4000000,16000000", "index sizes for figure 3")
@@ -312,6 +319,23 @@ func main() {
 		fmt.Printf("  engine recycler after the suite: %d chunks reused across plans, %s of allocation avoided\n\n",
 			reuse.Reused, spill.FormatBytes(reuse.SavedBytes))
 		snap.Queries = append(snap.Queries, rows...)
+	}
+	if wants("serve") {
+		fmt.Println("=== Serving tier: concurrent wire-protocol clients over one engine (13-query suite) ===")
+		rows, err := bench.ServeBench(dataset(), execAll, execFlags.MaxPlans, []int{1, 2, 4, 8}, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			gate := "gate off"
+			if r.MaxPlans > 0 {
+				gate = fmt.Sprintf("max-plans %d", r.MaxPlans)
+			}
+			fmt.Printf("  %2d clients  %-12s %9.1f ms  %8.1f q/s  avg queue wait %8.1f µs  stmt-cache hits %5d  shed %d\n",
+				r.Clients, gate, r.Millis, r.QPS, r.AvgWaitMicros, r.StmtHits, r.Shed)
+		}
+		fmt.Println()
+		snap.Serve = rows
 	}
 	if wants("memlife") {
 		fmt.Println("=== Ablation: plan memory lifecycle (recycler, mmap/partial thaw) over the SSB suite ===")

@@ -1,13 +1,14 @@
-// Command qpptsql is an interactive SQL shell — and, with -serve, a tiny
-// HTTP query server — over an in-memory SSB instance, executing queries
-// through one long-lived qppt.Engine.
+// Command qpptsql is an interactive SQL shell — and, with -listen or
+// -serve, a query server — over an in-memory SSB instance, executing
+// queries through one long-lived qppt.Engine.
 //
 // Usage:
 //
 //	qpptsql [-sf 0.05] [-stats] [-no-select-join] [-buffer 512]
 //	        [-workers N] [-morsels M] [-membudget 256MiB]
 //	        [-norecycle] [-recyclecap 256MiB] [-mmapthaw]
-//	        [-serve :8080]
+//	        [-max-plans N] [-queue-depth D] [-stmtcache C]
+//	        [-listen :5477] [-serve :8080]
 //
 // One Engine lives for the whole process: every statement shares its
 // worker pool, its session chunk pool (on by default — dropped
@@ -29,36 +30,43 @@
 //
 // Statements may span lines and end with a semicolon.
 //
-// -serve starts an HTTP endpoint instead of the shell: GET or POST
+// -listen serves the QPPT binary wire protocol (see internal/wire):
+// per-connection sessions with prepared-statement caches, streamed
+// row-batch results, out-of-band cancellation, and typed error classes.
+// -max-plans/-queue-depth put the engine's admission gate in front of
+// every query so overload answers ErrOverloaded instead of piling up.
+//
+// -serve starts the HTTP adapter — a thin layer over the same wire
+// server (each request is one in-process wire connection): GET or POST
 // /query with the statement in the q parameter (or the request body)
-// returns decoded rows as JSON. All requests share the one Engine, so
-// steady traffic runs against warm chunk pools — the serving mode the
-// ROADMAP's north star asks for, in miniature.
+// returns decoded rows as JSON; /stats returns the engine counters.
+// Both flags may be combined; either replaces the shell. This is the
+// serving mode the ROADMAP's north star asks for: one warm engine,
+// many client connections.
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	"qppt"
 	"qppt/internal/cliflags"
 	"qppt/internal/ssb"
+	"qppt/internal/wire"
+	"qppt/internal/wire/httpd"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.05, "SSB scale factor")
 	stats := flag.Bool("stats", false, "print per-operator statistics")
 	noSJ := flag.Bool("no-select-join", false, "disable composed select-join operators")
-	serve := flag.String("serve", "", "serve HTTP queries on this address (e.g. :8080) instead of the interactive shell")
+	srvFlags := cliflags.RegisterServe(flag.CommandLine)
 	exec := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 	exec.ApplyRuntime()
@@ -80,18 +88,39 @@ func main() {
 		os.Exit(2)
 	}
 	defer eng.Close()
-	sess := eng.Session(ds.Cat)
 
-	if *serve != "" {
-		if err := serveHTTP(*serve, sess, *noSJ); err != nil {
+	if srvFlags.Serving() {
+		if err := serveWire(srvFlags, eng, ds, *noSJ); err != nil {
 			fmt.Fprintln(os.Stderr, "qpptsql:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	sess := eng.Session(ds.Cat)
 	fmt.Println(`type SQL ending with ';', \q to quit, \ssb <id> for benchmark queries, \engine for pool stats`)
 	repl(sess, ds, *stats, *noSJ)
+}
+
+// serveWire runs the serving tier: the wire-protocol listener and/or the
+// HTTP adapter, both over one wire.Server on the shared engine. It
+// returns when either listener fails (ErrServerClosed is clean).
+func serveWire(addrs *cliflags.Serve, eng *qppt.Engine, ds *ssb.Dataset, noSJ bool) error {
+	srv := wire.NewServer(eng, ds.Cat, queryOptions(false, noSJ)...)
+	defer srv.Close()
+	errc := make(chan error, 2)
+	if addrs.Listen != "" {
+		fmt.Printf("serving qppt wire protocol on %s\n", addrs.Listen)
+		go func() { errc <- srv.ListenAndServe(addrs.Listen) }()
+	}
+	if addrs.HTTP != "" {
+		fmt.Printf("serving HTTP queries on %s (POST /query, GET /stats)\n", addrs.HTTP)
+		go func() { errc <- http.ListenAndServe(addrs.HTTP, httpd.New(srv)) }()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, wire.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // repl drives the interactive shell over one engine session.
@@ -185,68 +214,4 @@ func run(sess *qppt.Session, text string, stats, noSJ bool) {
 	if stats && planStats != nil {
 		fmt.Print(planStats)
 	}
-}
-
-// serveHTTP runs the query server: every request executes on the shared
-// engine session, with the request context cancelling the plan when the
-// client disconnects.
-func serveHTTP(addr string, sess *qppt.Session, noSJ bool) error {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		text := r.FormValue("q")
-		if text == "" {
-			body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-			text = strings.TrimSpace(string(body))
-		}
-		if text == "" {
-			http.Error(w, "missing query (q parameter or request body)", http.StatusBadRequest)
-			return
-		}
-		t0 := time.Now()
-		// Prepare and Run separately so failures classify honestly: a bad
-		// statement is the client's fault (400), an execution failure —
-		// spill I/O — is the server's (500), a closed engine is the server
-		// shutting down (503), and a client that hung up mid-query is
-		// neither (499).
-		status := func(err error, fallback int) int {
-			switch {
-			case r.Context().Err() != nil:
-				return 499 // client closed request
-			case errors.Is(err, qppt.ErrEngineClosed):
-				return http.StatusServiceUnavailable
-			}
-			return fallback
-		}
-		stmt, err := sess.Prepare(r.Context(), text, queryOptions(false, noSJ)...)
-		if err != nil {
-			http.Error(w, err.Error(), status(err, http.StatusBadRequest))
-			return
-		}
-		rows, _, err := stmt.Run(r.Context())
-		if err != nil {
-			http.Error(w, err.Error(), status(err, http.StatusInternalServerError))
-			return
-		}
-		decoded := make([][]string, len(rows.Rows))
-		for i := range rows.Rows {
-			cells := make([]string, len(rows.Attrs))
-			for c := range rows.Attrs {
-				cells[c] = rows.Decode(i, c)
-			}
-			decoded[i] = cells
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"attrs":   rows.Attrs,
-			"rows":    decoded,
-			"elapsed": time.Since(t0).String(),
-		})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		st := sess.Engine().Stats()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
-	})
-	fmt.Printf("serving queries on %s (POST /query, GET /stats)\n", addr)
-	return http.ListenAndServe(addr, mux)
 }

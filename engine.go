@@ -25,11 +25,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"qppt/internal/admission"
 	"qppt/internal/arena"
 	"qppt/internal/catalog"
-	"qppt/internal/kernel"
 	"qppt/internal/core"
+	"qppt/internal/kernel"
 	"qppt/internal/spill"
 	"qppt/internal/sql"
 )
@@ -78,10 +80,33 @@ type Config struct {
 	// chains (core.Options.ProbeBatch): 0 = core default, 1 = scalar
 	// forwarding. Per-query, WithProbeBatch overrides it.
 	ProbeBatch int
+	// MaxPlans caps the plans executing concurrently: an admission gate
+	// in front of RunPlan/Stmt.Run queues later arrivals per session
+	// (round-robin across sessions, FIFO within) and answers
+	// ErrOverloaded once a session's queue is QueueDepth deep — the
+	// serving tier's backpressure. 0 disables admission control (the
+	// historical unbounded behavior for embedded use).
+	MaxPlans int
+	// QueueDepth bounds each session's admission queue
+	// (0 = admission.DefaultQueueDepth; meaningful only with MaxPlans).
+	QueueDepth int
+	// StmtCache is the per-Conn prepared-statement cache capacity:
+	// 0 = DefaultStmtCacheSize, negative = caching disabled. Sessions
+	// opened with Engine.Conn cache their planned statements in an LRU
+	// keyed by SQL text, so repeated Binds of the same text skip
+	// planning; Engine.Stats aggregates hit/miss/eviction counters.
+	StmtCache int
 }
 
 // ErrEngineClosed is returned by every query entry point after Close.
 var ErrEngineClosed = errors.New("qppt: engine is closed")
+
+// ErrOverloaded is returned by query entry points when the caller's
+// admission queue is full (Config.MaxPlans/QueueDepth): the engine is
+// shedding load instead of buffering unboundedly. Servers surface it as
+// a typed overload answer (wire.ClassOverloaded, HTTP 503); clients
+// should back off and retry.
+var ErrOverloaded = admission.ErrOverloaded
 
 // An Engine is a long-lived query engine: one worker pool, one session
 // chunk pool and one spill budget shared by every session and plan run
@@ -93,6 +118,16 @@ type Engine struct {
 	cfg     Config
 	env     *core.Env
 	queries atomic.Int64
+	// gate is the admission controller (nil without Config.MaxPlans).
+	gate     *admission.Gate
+	nextSess atomic.Uint64
+
+	// Per-Conn statement caches aggregate their counters here so
+	// Stats reports cache traffic engine-wide.
+	stmtHits    atomic.Int64
+	stmtMisses  atomic.Int64
+	stmtEvicted atomic.Int64
+	stmtCached  atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -119,7 +154,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, env: env}, nil
+	eng := &Engine{cfg: cfg, env: env}
+	if cfg.MaxPlans > 0 {
+		eng.gate = admission.New(admission.Config{MaxPlans: cfg.MaxPlans, QueueDepth: cfg.QueueDepth})
+	}
+	return eng, nil
 }
 
 // Env exposes the engine's execution environment for callers that drive
@@ -147,17 +186,35 @@ type Stats struct {
 	// "swar", or "generic" when the fallback oracle is forced via
 	// -nokernel / QPPT_KERNEL=off / a purego build).
 	Kernel string
+	// Admission snapshots the admission gate: current/peak queue depth,
+	// cumulative queue wait time, admitted/rejected plans (zero without
+	// Config.MaxPlans).
+	Admission admission.Stats
+	// StmtCache aggregates every Conn's prepared-statement cache
+	// traffic: planning skipped (hits), planning paid (misses), LRU
+	// evictions, and statements currently cached.
+	StmtCache StmtCacheStats
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Queries:  e.queries.Load(),
 		Workers:  e.env.Workers(),
 		Recycler: e.env.RecyclerStats(),
 		Spill:    e.env.SpillStats(),
 		Kernel:   kernel.Mode(),
+		StmtCache: StmtCacheStats{
+			Hits:    e.stmtHits.Load(),
+			Misses:  e.stmtMisses.Load(),
+			Evicted: e.stmtEvicted.Load(),
+			Cached:  e.stmtCached.Load(),
+		},
 	}
+	if e.gate != nil {
+		st.Admission = e.gate.Stats()
+	}
+	return st
 }
 
 func (s Stats) String() string {
@@ -173,6 +230,15 @@ func (s Stats) String() string {
 		out += fmt.Sprintf("spill: %d spills (%s out), %d restores (%s in), resident %s (peak %s)\n",
 			sp.Spills, spill.FormatBytes(sp.SpillBytes), sp.Restores, spill.FormatBytes(sp.RestoreBytes),
 			spill.FormatBytes(sp.Resident), spill.FormatBytes(sp.Peak))
+	}
+	if ad := s.Admission; ad.MaxPlans > 0 {
+		out += fmt.Sprintf("admission: %d/%d plans running, %d queued (peak %d, depth cap %d/session), %d waited %v total, %d rejected\n",
+			ad.Running, ad.MaxPlans, ad.Queued, ad.PeakQueued, ad.QueueDepth,
+			ad.Waited, ad.WaitTime.Round(time.Millisecond), ad.Rejected)
+	}
+	if sc := s.StmtCache; sc.Hits > 0 || sc.Misses > 0 {
+		out += fmt.Sprintf("stmt cache: %d hits, %d misses, %d evicted, %d cached\n",
+			sc.Hits, sc.Misses, sc.Evicted, sc.Cached)
 	}
 	return out
 }
@@ -219,24 +285,62 @@ func (e *Engine) begin() error {
 
 func (e *Engine) end() { e.inflight.Done() }
 
+// admit passes one plan through the admission gate for the session,
+// blocking in the session's fair queue at the concurrency cap. It
+// returns the release the caller must invoke when the plan finishes,
+// plus how long the plan queued (folded into PlanStats as
+// AdmissionWait). Without a gate it is free.
+func (e *Engine) admit(ctx context.Context, session uint64) (release func(), wait time.Duration, err error) {
+	if e.gate == nil {
+		return func() {}, 0, nil
+	}
+	t0 := time.Now()
+	if err := e.gate.Acquire(ctx, session); err != nil {
+		return nil, 0, err
+	}
+	return e.gate.Release, time.Since(t0), nil
+}
+
 // Session opens a session against a catalog: the handle queries and
 // prepared statements run through. Sessions are lightweight (a planner
 // over the catalog plus the engine reference) and safe for concurrent
-// use; open as many as there are clients.
+// use; open as many as there are clients. Each session is its own
+// admission-fairness domain: under Config.MaxPlans the gate round-robins
+// freed slots across sessions with queued plans.
 func (e *Engine) Session(cat *catalog.Catalog) *Session {
-	return &Session{eng: e, planner: sql.NewPlanner(cat)}
+	return &Session{eng: e, planner: sql.NewPlanner(cat), id: e.nextSess.Add(1)}
+}
+
+// Conn opens a session with a per-connection prepared-statement cache —
+// the handle a server gives each client connection. PrepareCached plans
+// each distinct SQL text once and serves repeats from an LRU of
+// Config.StmtCache statements; Close releases the cache. Everything
+// else behaves exactly like Session.
+func (e *Engine) Conn(cat *catalog.Catalog) *Conn {
+	s := e.Session(cat)
+	s.cache = newStmtCache(e, e.cfg.StmtCache)
+	return s
 }
 
 // RunPlan executes a hand-built core plan through the engine — the
 // non-SQL entry point for embedders that construct operator DAGs
 // directly.
+// RunPlan callers share one admission-fairness domain (session 0): open
+// a Session instead when per-client fairness matters.
 func (e *Engine) RunPlan(ctx context.Context, plan *core.Plan, opts ...QueryOption) (*core.IndexedTable, *core.PlanStats, error) {
 	if err := e.begin(); err != nil {
 		return nil, nil, err
 	}
 	defer e.end()
+	release, wait, err := e.admit(ctx, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	e.queries.Add(1)
-	return plan.RunCtx(ctx, e.env, e.execOptions(opts))
+	exec := e.execOptions(opts)
+	exec.AdmissionWait = wait
+	return plan.RunCtx(ctx, e.env, exec)
 }
 
 // execOptions folds the engine defaults and the per-query overrides into

@@ -28,6 +28,9 @@ type Exec struct {
 	NoFuse     bool
 	ProbeBatch int
 	NoKernel   bool
+	MaxPlans   int
+	QueueDepth int
+	StmtCache  int
 }
 
 // Register declares the shared flags on fs (use flag.CommandLine for the
@@ -45,8 +48,30 @@ func Register(fs *flag.FlagSet) *Exec {
 	fs.BoolVar(&e.NoFuse, "nofuse", false, "disable pipeline fusion: materialize every single-consumer intermediate index (fusion is on by default)")
 	fs.IntVar(&e.ProbeBatch, "probebatch", 0, "probe-forward batch size inside fused chains (1 = scalar forwarding, 0 = default; ignored under -nofuse)")
 	fs.BoolVar(&e.NoKernel, "nokernel", false, "disable the SWAR batch kernels: route tree descents and range-stream predicates through the scalar fallback")
+	fs.IntVar(&e.MaxPlans, "max-plans", 0, "admission cap on concurrently executing plans (0 = unlimited, no admission control)")
+	fs.IntVar(&e.QueueDepth, "queue-depth", 0, "per-session admission queue depth before queries are shed with ErrOverloaded (0 = default; needs -max-plans)")
+	fs.IntVar(&e.StmtCache, "stmtcache", 0, "per-connection prepared-statement cache capacity (0 = default, negative disables)")
 	return e
 }
+
+// Serve holds the serving-tier address flags (cmd/qpptsql).
+type Serve struct {
+	Listen string
+	HTTP   string
+}
+
+// RegisterServe declares the serving-tier flags on fs: -listen runs the
+// binary wire protocol, -serve the HTTP adapter layered over it. Both
+// may be given together; either replaces the interactive shell.
+func RegisterServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Listen, "listen", "", "serve the QPPT wire protocol on this TCP address (e.g. :5477) instead of the interactive shell")
+	fs.StringVar(&s.HTTP, "serve", "", "serve HTTP queries on this address (e.g. :8080) as a thin adapter over the wire server")
+	return s
+}
+
+// Serving reports whether any serving-tier address was given.
+func (s *Serve) Serving() bool { return s.Listen != "" || s.HTTP != "" }
 
 // ApplyRuntime applies the process-global knobs that live outside
 // core.Options / qppt.Config — currently the batch-kernel dispatch
@@ -111,6 +136,9 @@ func (e *Exec) EngineConfig() (qppt.Config, error) {
 		DisableRecycle:   e.NoRecycle,
 		DisableFusion:    e.NoFuse,
 		ProbeBatch:       e.ProbeBatch,
+		MaxPlans:         e.MaxPlans,
+		QueueDepth:       e.QueueDepth,
+		StmtCache:        e.StmtCache,
 	}
 	cap, err := e.RecycleCapBytes()
 	if err != nil {

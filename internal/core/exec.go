@@ -69,6 +69,12 @@ type Options struct {
 	MmapThaw bool
 	// CollectStats gathers per-operator execution statistics.
 	CollectStats bool
+	// AdmissionWait is how long the plan waited in an admission queue
+	// before RunCtx was entered. Execution ignores it; the queue-aware
+	// entry folds it into PlanStats so per-query statistics separate
+	// time-queued from time-executing (qppt.Engine sets it from its
+	// admission gate).
+	AdmissionWait time.Duration
 	// NoFuse disables pipeline fusion. By default the executor detects
 	// single-consumer plan edges whose intermediate index would be built,
 	// scanned once by a streaming consumer and dropped, and executes each
@@ -336,6 +342,10 @@ type PlanStats struct {
 	// streams — each is one intermediate index the plan never built
 	// (0 under Options.NoFuse).
 	FusedEdges int
+	// AdmissionWait is how long the plan sat in the engine's admission
+	// queue before execution began (0 when the plan was admitted
+	// immediately or no gate is configured). Total does not include it.
+	AdmissionWait time.Duration
 }
 
 func (ps *PlanStats) String() string {
@@ -343,6 +353,9 @@ func (ps *PlanStats) String() string {
 		return "(no stats)"
 	}
 	s := fmt.Sprintf("total %v (pool: %d workers × %d morsels)\n", ps.Total, ps.Workers, ps.MorselsPerWorker)
+	if ps.AdmissionWait > 0 {
+		s += fmt.Sprintf("admission: queued %v before execution\n", ps.AdmissionWait.Round(time.Microsecond))
+	}
 	if ps.MemBudget > 0 {
 		s += fmt.Sprintf("membudget %s: %d spills (%s out), %d restores (%s in, %s read), peak resident %s\n",
 			spill.FormatBytes(ps.MemBudget), ps.Spills, spill.FormatBytes(ps.SpillBytes),
@@ -509,7 +522,8 @@ func (pl *Plan) RunCtx(ctx context.Context, env *Env, opts Options) (*IndexedTab
 	var spill0 spill.Stats
 	var rec0 arena.RecyclerStats
 	if opts.CollectStats {
-		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1, MemBudget: opts.MemBudget}
+		stats = &PlanStats{Workers: ex.sched.Workers(), MorselsPerWorker: 1,
+			MemBudget: opts.MemBudget, AdmissionWait: opts.AdmissionWait}
 		if ex.sched.parallel() {
 			stats.MorselsPerWorker = opts.morselsPerWorker()
 		}

@@ -126,14 +126,14 @@ type sink struct {
 	// when arrival order already is key order — so the consumer's batched
 	// index probes walk shared tree descents once. batches counts the
 	// handoffs (OperatorStats.ProbeBatches).
-	forwardBatch func(keys, rows []uint64, perm []uint32)
-	fwBatch      int
-	fwArrival    bool // deliver batches in arrival order, never sort
-	fwKeys       []uint64
-	fwRows       []uint64
-	fwPerm       []uint32
-	fwSort       []uint64 // key<<32|index packing scratch for 32-bit keys
-	batches      int
+	forwardBatch   func(keys, rows []uint64, perm []uint32)
+	fwBatch        int
+	fwArrival      bool // deliver batches in arrival order, never sort
+	fwKeys         []uint64
+	fwRows         []uint64
+	fwPerm         []uint32
+	fwSort         []uint64 // key<<32|index packing scratch for 32-bit keys
+	batches        int
 	sortedFlushes  int // batches delivered (or verified) in key order
 	arrivalFlushes int // batches delivered in arrival order
 

@@ -51,9 +51,9 @@ func TestRangeMaskAndSelMatchOracle(t *testing.T) {
 		for _, wide := range []bool{false, true} {
 			keys := testKeys(n, int64(n)*3+7, wide)
 			ranges := [][2]uint64{
-				{0, ^uint64(0)},        // all-in
-				{1, 0},                 // inverted: matches nothing (wrapper rejects)
-				{1 << 19, 1 << 20},     // partial
+				{0, ^uint64(0)},          // all-in
+				{1, 0},                   // inverted: matches nothing (wrapper rejects)
+				{1 << 19, 1 << 20},       // partial
 				{^uint64(0), ^uint64(0)}, // all-miss for narrow keys
 			}
 			if n > 0 {

@@ -7,9 +7,12 @@
 //	spill.New / spill.NewConfig     -> Manager.Close  (removes spill files, frees budget)
 //	duplist.NewSlab / NewSlabIn     -> Slab.Release   (returns chunks to the recycler)
 //	Recycler.Local()                -> Recycler.Drain (hands cached chunks back to the parent)
+//	wire.NewServer                  -> Server.Close   (closes listeners, drains live connections)
+//	client.New / NewConn / NewPipe  -> Conn.Close     (sends Terminate, closes the socket)
 //
 // A leaked Manager keeps spill files on disk; a worker-local Recycler
-// that is never drained strands its chunk cache. The analyzer proves,
+// that is never drained strands its chunk cache; a leaked wire Server
+// or client Conn pins its sessions and their statement caches. The analyzer proves,
 // per function body, that a constructor result bound to a local variable
 // reaches its teardown on all paths to a normal exit. `defer x.Close()`
 // is the preferred form and always satisfies the check.
@@ -35,7 +38,7 @@ import (
 // Analyzer is the closetrail invariant checker.
 var Analyzer = &qlint.Analyzer{
 	Name: "closetrail",
-	Doc:  "check that locally created Engine/spill.Manager/duplist.Slab/worker-local Recycler values reach Close/Release/Drain on every path",
+	Doc:  "check that locally created Engine/spill.Manager/duplist.Slab/worker-local Recycler/wire.Server/client.Conn values reach Close/Release/Drain on every path",
 	Run:  run,
 }
 
@@ -52,6 +55,8 @@ var resources = []resource{
 	{"internal/spill", "Manager", "Close"},
 	{"internal/duplist", "Slab", "Release"},
 	{"internal/arena", "Recycler", "Drain"},
+	{"internal/wire", "Server", "Close"},
+	{"internal/wire/client", "Conn", "Close"},
 }
 
 func run(pass *qlint.Pass) error {

@@ -1,0 +1,14 @@
+// Package client is a stub of the wire-protocol client for analyzer tests.
+package client
+
+// Conn is a stub client connection.
+type Conn struct{ open bool }
+
+// New dials a server.
+func New(addr string) (*Conn, error) { return &Conn{open: true}, nil }
+
+// Query runs one statement.
+func (c *Conn) Query(text string) (int, error) { return len(text), nil }
+
+// Close terminates the session and closes the socket.
+func (c *Conn) Close() error { c.open = false; return nil }

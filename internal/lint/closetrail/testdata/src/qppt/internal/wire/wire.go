@@ -1,0 +1,16 @@
+// Package wire is a stub of the wire-protocol server for analyzer tests.
+package wire
+
+import "qppt"
+
+// Server is a stub serving-tier listener owner.
+type Server struct{ eng *qppt.Engine }
+
+// NewServer builds a server over an engine.
+func NewServer(eng *qppt.Engine) *Server { return &Server{eng: eng} }
+
+// ListenAndServe blocks serving connections.
+func (s *Server) ListenAndServe(addr string) error { return nil }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return nil }

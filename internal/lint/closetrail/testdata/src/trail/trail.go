@@ -8,6 +8,8 @@ import (
 	"qppt/internal/arena"
 	"qppt/internal/duplist"
 	"qppt/internal/spill"
+	"qppt/internal/wire"
+	"qppt/internal/wire/client"
 )
 
 // Clean: the preferred form — defer right after the constructor.
@@ -108,6 +110,53 @@ func (sv *server) init() error {
 	}
 	sv.m = m
 	return nil
+}
+
+// Clean: the wire server is torn down on every exit.
+func serveWire(e *qppt.Engine, addr string) error {
+	srv := wire.NewServer(e)
+	defer srv.Close()
+	return srv.ListenAndServe(addr)
+}
+
+// Flagged: the server leaks when ListenAndServe fails.
+func serveWireLeaky(e *qppt.Engine, addr string) error {
+	srv := wire.NewServer(e) // want `wire.Server created here does not reach srv.Close\(\) on every return path`
+	if err := srv.ListenAndServe(addr); err != nil {
+		return err // listeners and live conns never closed
+	}
+	srv.Close()
+	return nil
+}
+
+// Clean: a dialed client connection closed via defer.
+func wireRoundTrip(addr, q string) (int, error) {
+	cc, err := client.New(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer cc.Close()
+	return cc.Query(q)
+}
+
+// Flagged: the connection leaks on the query-error path, stranding the
+// server-side session and its statement cache.
+func wireLeakOnError(addr, q string) (int, error) {
+	cc, err := client.New(addr) // want `client.Conn created here does not reach cc.Close\(\) on every return path`
+	if err != nil {
+		return 0, err
+	}
+	n, err := cc.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	cc.Close()
+	return n, nil
+}
+
+// Clean: ownership of the dialed connection transfers to the caller.
+func dialWire(addr string) (*client.Conn, error) {
+	return client.New(addr)
 }
 
 // Suppressed: process-lifetime singleton, audited.

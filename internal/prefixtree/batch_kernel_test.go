@@ -45,11 +45,11 @@ func diffLookup(t *testing.T, tr *Tree, batch []uint64, label string) {
 
 func TestLookupBatchKernelMatchesScalar(t *testing.T) {
 	cfgs := []Config{
-		{},                             // 64-bit keys, k'=4
-		{PrefixLen: 6},                 // 64-bit keys, uneven last level (64%6 != 0)
-		{KeyBits: 20, PrefixLen: 8},    // narrow keys, uneven last level
-		{KeyBits: 32, PrefixLen: 16},   // widest buckets
-		{KeyBits: 1, PrefixLen: 1},     // degenerate single-bit tree
+		{},                           // 64-bit keys, k'=4
+		{PrefixLen: 6},               // 64-bit keys, uneven last level (64%6 != 0)
+		{KeyBits: 20, PrefixLen: 8},  // narrow keys, uneven last level
+		{KeyBits: 32, PrefixLen: 16}, // widest buckets
+		{KeyBits: 1, PrefixLen: 1},   // degenerate single-bit tree
 		{PayloadWidth: 2, PrefixLen: 5},
 	}
 	for _, cfg := range cfgs {
@@ -73,9 +73,9 @@ func TestLookupBatchKernelMatchesScalar(t *testing.T) {
 		tr.InsertBatch(present, rows)
 
 		batch := make([]uint64, 0, 700)
-		batch = append(batch, present...)             // hits
-		batch = append(batch, present[:50]...)        // duplicates
-		for i := 0; i < 300; i++ {                    // mostly misses
+		batch = append(batch, present...)      // hits
+		batch = append(batch, present[:50]...) // duplicates
+		for i := 0; i < 300; i++ {             // mostly misses
 			batch = append(batch, rng.Uint64()&keyMask)
 		}
 		diffLookup(t, tr, batch, "mixed")
@@ -97,11 +97,11 @@ func TestLookupBatchKernelMatchesScalar(t *testing.T) {
 // visit order is a bug.
 func FuzzKernelVsScalar(f *testing.F) {
 	f.Add(int64(1), uint16(512), uint8(64), uint8(4), uint8(50))
-	f.Add(int64(2), uint16(0), uint8(64), uint8(4), uint8(0))      // empty batch
-	f.Add(int64(3), uint16(100), uint8(64), uint8(6), uint8(0))    // all-miss
-	f.Add(int64(4), uint16(64), uint8(20), uint8(8), uint8(100))   // all-hit, narrow keys
-	f.Add(int64(5), uint16(33), uint8(32), uint8(16), uint8(80))   // widest buckets
-	f.Add(int64(6), uint16(17), uint8(1), uint8(1), uint8(100))    // single-bit keyspace
+	f.Add(int64(2), uint16(0), uint8(64), uint8(4), uint8(0))    // empty batch
+	f.Add(int64(3), uint16(100), uint8(64), uint8(6), uint8(0))  // all-miss
+	f.Add(int64(4), uint16(64), uint8(20), uint8(8), uint8(100)) // all-hit, narrow keys
+	f.Add(int64(5), uint16(33), uint8(32), uint8(16), uint8(80)) // widest buckets
+	f.Add(int64(6), uint16(17), uint8(1), uint8(1), uint8(100))  // single-bit keyspace
 	f.Fuzz(func(t *testing.T, seed int64, n uint16, keyBits, prefixLen, hitPct uint8) {
 		cfg := Config{KeyBits: uint(keyBits%64) + 1, PrefixLen: uint(prefixLen%16) + 1}
 		tr := MustNew(cfg)

@@ -1,0 +1,297 @@
+// Package client is the Go client for QPPT's wire protocol. A Conn is
+// one protocol connection: request/response cycles are serialized, but
+// Cancel may be sent from any goroutine while a query is in flight —
+// the out-of-band path the server reads alongside execution.
+//
+// The package imports wire (not the other way around) so the server
+// package stays importable by the engine's command-line tools without
+// dragging client code along.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qppt/internal/wire"
+)
+
+// A Result is one query's fully-materialized answer. Raw-mode queries
+// fill Rows with the engine's uint64 attribute codes — bit-identical to
+// in-process Session.Query results; decoded-mode queries fill Strs with
+// the catalog-decoded cell texts. Elapsed is the server-side execution
+// time reported by the Done frame.
+type Result struct {
+	Attrs   []string
+	Rows    [][]uint64
+	Strs    [][]string
+	Elapsed time.Duration
+}
+
+// A Conn is one client connection. Methods that run a request/response
+// cycle (Query, Prepare, Bind, Execute, CloseStmt) serialize against
+// each other; Cancel and Close may be called concurrently with them.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	// reqMu serializes request/response cycles; wmu serializes raw frame
+	// writes beneath them, so Cancel can cut in while a Query holds reqMu
+	// waiting on the response.
+	reqMu sync.Mutex
+	wmu   sync.Mutex
+
+	// Banner and Version are the server's HelloOK identification.
+	Banner  string
+	Version uint64
+}
+
+// New dials addr (TCP) and performs the protocol handshake.
+func New(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc)
+}
+
+// NewConn performs the handshake over an established connection, taking
+// ownership of nc.
+func NewConn(nc net.Conn) (*Conn, error) {
+	c := &Conn{nc: nc, br: bufio.NewReader(nc)}
+	var pl wire.Payload
+	pl.Str(wire.Magic)
+	pl.Uvarint(wire.Version)
+	if err := c.writeFrame(wire.FrameHello, pl.Buf); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, p, err := wire.ReadFrame(c.br, wire.MaxServerFrame)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if t == wire.FrameErr {
+		nc.Close()
+		return nil, decodeErr(p)
+	}
+	r := wire.NewPayloadReader(p)
+	c.Version, c.Banner = r.Uvarint(), r.Str()
+	if t != wire.FrameHelloOK || r.Err() != nil {
+		nc.Close()
+		return nil, fmt.Errorf("qppt wire client: malformed handshake reply (frame 0x%02x)", byte(t))
+	}
+	return c, nil
+}
+
+// NewPipe connects an in-process client to srv over a synchronous
+// net.Pipe — no sockets, full protocol. The server side runs on its own
+// goroutine and exits when the client closes (or the server does).
+func NewPipe(srv *wire.Server) (*Conn, error) {
+	sc, cc := net.Pipe()
+	go srv.ServeConn(sc)
+	return NewConn(cc)
+}
+
+// Close terminates the session (best effort) and closes the connection.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	// Best effort: over a synchronous net.Pipe an unread Terminate would
+	// block forever, so bound it — the nc.Close below is authoritative.
+	c.nc.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	wire.WriteFrame(c.nc, wire.FrameTerminate, nil)
+	c.wmu.Unlock()
+	return c.nc.Close()
+}
+
+// Cancel asks the server to abort the in-flight command; the command's
+// caller sees a ClassCancelled error. Safe from any goroutine; a Cancel
+// with nothing in flight is a no-op server-side.
+func (c *Conn) Cancel() error {
+	return c.writeFrame(wire.FrameCancel, nil)
+}
+
+// Query runs one statement and returns its raw (uint64-coded) result.
+func (c *Conn) Query(text string) (*Result, error) { return c.query(text, 0) }
+
+// QueryDecoded runs one statement with server-side catalog decoding;
+// the result's Strs holds the decoded cells.
+func (c *Conn) QueryDecoded(text string) (*Result, error) { return c.query(text, wire.FlagDecode) }
+
+func (c *Conn) query(text string, flags byte) (*Result, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var pl wire.Payload
+	pl.U8(flags)
+	pl.Str(text)
+	if err := c.writeFrame(wire.FrameQuery, pl.Buf); err != nil {
+		return nil, err
+	}
+	return c.readResult()
+}
+
+// Prepare plans and names a statement server-side, returning its output
+// attribute names.
+func (c *Conn) Prepare(name, text string) ([]string, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var pl wire.Payload
+	pl.Str(name)
+	pl.Str(text)
+	if err := c.writeFrame(wire.FramePrepare, pl.Buf); err != nil {
+		return nil, err
+	}
+	t, p, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if t == wire.FrameErr {
+		return nil, decodeErr(p)
+	}
+	r := wire.NewPayloadReader(p)
+	attrs := make([]string, r.Uvarint())
+	for i := range attrs {
+		attrs[i] = r.Str()
+	}
+	if t != wire.FramePrepareOK || r.Err() != nil {
+		return nil, fmt.Errorf("qppt wire client: unexpected reply to Prepare (frame 0x%02x)", byte(t))
+	}
+	return attrs, nil
+}
+
+// Bind points a portal at a prepared statement.
+func (c *Conn) Bind(portal, stmt string) error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var pl wire.Payload
+	pl.Str(portal)
+	pl.Str(stmt)
+	if err := c.writeFrame(wire.FrameBind, pl.Buf); err != nil {
+		return err
+	}
+	return c.readAck(wire.FrameBindOK, "Bind")
+}
+
+// Execute runs a bound portal and returns its raw result.
+func (c *Conn) Execute(portal string) (*Result, error) { return c.execute(portal, 0) }
+
+// ExecuteDecoded runs a bound portal with server-side decoding.
+func (c *Conn) ExecuteDecoded(portal string) (*Result, error) {
+	return c.execute(portal, wire.FlagDecode)
+}
+
+func (c *Conn) execute(portal string, flags byte) (*Result, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var pl wire.Payload
+	pl.U8(flags)
+	pl.Str(portal)
+	if err := c.writeFrame(wire.FrameExecute, pl.Buf); err != nil {
+		return nil, err
+	}
+	return c.readResult()
+}
+
+// CloseStmt forgets a prepared statement name server-side.
+func (c *Conn) CloseStmt(name string) error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var pl wire.Payload
+	pl.Str(name)
+	if err := c.writeFrame(wire.FrameCloseStmt, pl.Buf); err != nil {
+		return err
+	}
+	return c.readAck(wire.FrameCloseOK, "CloseStmt")
+}
+
+func (c *Conn) writeFrame(t wire.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.nc, t, payload)
+}
+
+func (c *Conn) readFrame() (wire.FrameType, []byte, error) {
+	return wire.ReadFrame(c.br, wire.MaxServerFrame)
+}
+
+func (c *Conn) readAck(want wire.FrameType, op string) error {
+	t, p, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	if t == wire.FrameErr {
+		return decodeErr(p)
+	}
+	if t != want {
+		return fmt.Errorf("qppt wire client: unexpected reply to %s (frame 0x%02x)", op, byte(t))
+	}
+	return nil
+}
+
+// readResult consumes a query answer: RowHeader, row batches, Done — or
+// a single Err frame.
+func (c *Conn) readResult() (*Result, error) {
+	res := &Result{}
+	sawHeader := false
+	for {
+		t, p, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		r := wire.NewPayloadReader(p)
+		switch t {
+		case wire.FrameErr:
+			return nil, decodeErr(p)
+		case wire.FrameRowHeader:
+			res.Attrs = make([]string, r.Uvarint())
+			for i := range res.Attrs {
+				res.Attrs[i] = r.Str()
+			}
+			sawHeader = true
+		case wire.FrameRowBatch:
+			nrows, ncols := r.Uvarint(), r.Uvarint()
+			for i := uint64(0); i < nrows; i++ {
+				row := make([]uint64, ncols)
+				for j := range row {
+					row[j] = r.Uvarint()
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		case wire.FrameRowBatchStr:
+			nrows, ncols := r.Uvarint(), r.Uvarint()
+			for i := uint64(0); i < nrows; i++ {
+				row := make([]string, ncols)
+				for j := range row {
+					row[j] = r.Str()
+				}
+				res.Strs = append(res.Strs, row)
+			}
+		case wire.FrameDone:
+			nrows := r.Uvarint()
+			res.Elapsed = time.Duration(r.Uvarint())
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if !sawHeader || (uint64(len(res.Rows)) != nrows && uint64(len(res.Strs)) != nrows) {
+				return nil, fmt.Errorf("qppt wire client: Done reports %d rows, received %d", nrows, len(res.Rows)+len(res.Strs))
+			}
+			return res, nil
+		default:
+			return nil, fmt.Errorf("qppt wire client: unexpected frame 0x%02x in result stream", byte(t))
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func decodeErr(p []byte) error {
+	r := wire.NewPayloadReader(p)
+	class, msg := wire.Class(r.U8()), r.Str()
+	if r.Err() != nil {
+		return fmt.Errorf("qppt wire client: malformed Err frame")
+	}
+	return &wire.Error{Class: class, Msg: msg}
+}

@@ -1,0 +1,278 @@
+// Package wire is QPPT's serving tier: a length-prefixed binary wire
+// protocol over the qppt.Engine / Session surface, with admission-aware
+// backpressure and typed error classes.
+//
+// Every frame is one type byte followed by a big-endian uint32 payload
+// length and the payload. Payload scalars are unsigned varints, strings
+// are uvarint-length-prefixed UTF-8. The client speaks first:
+//
+//	client → server                     server → client
+//	Hello     magic "QPPT", version     HelloOK      version, banner
+//	Query     flags, sql                RowHeader    attr names
+//	Prepare   name, sql                 RowBatch     uint64 cells (raw)
+//	Bind      portal, stmt name         RowBatchStr  string cells (decoded)
+//	Execute   flags, portal             Done         row count, elapsed ns
+//	Cancel    —  (out of band)          PrepareOK    attr names
+//	CloseStmt name                      BindOK / CloseOK
+//	Terminate —                         Err          class, message
+//
+// A Query (or Execute) answer is RowHeader, zero or more row batches
+// streamed RowBatchSize rows at a time, then Done — or a single Err
+// frame. Cancel is read out of band while a query executes and aborts it
+// through the engine's context path; the aborted command answers
+// Err/ClassCancelled. Err frames carry one of the five error classes
+// below, the protocol generalization of the HTTP serve mode's
+// 400/499/500/503 mapping (Class.HTTPStatus is the single place that
+// mapping lives).
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"qppt"
+)
+
+// Magic opens every Hello frame; Version is the protocol revision the
+// handshake negotiates (the server answers min(client, server)).
+const (
+	Magic   = "QPPT"
+	Version = 1
+)
+
+// RowBatchSize is how many result rows one RowBatch/RowBatchStr frame
+// carries: large enough to amortize framing, small enough that a slow
+// client applies backpressure through the TCP window instead of letting
+// the server buffer an unbounded result ahead of it.
+const RowBatchSize = 256
+
+// MaxClientFrame bounds client→server payloads (statements); a frame
+// declaring more is a protocol error and closes the connection.
+// MaxServerFrame bounds server→client payloads the client will accept.
+const (
+	MaxClientFrame = 1 << 20
+	MaxServerFrame = 1 << 26
+)
+
+// FrameType tags a frame. Client→server types have the high bit clear,
+// server→client types set.
+type FrameType byte
+
+const (
+	FrameHello     FrameType = 0x01
+	FrameQuery     FrameType = 0x02
+	FramePrepare   FrameType = 0x03
+	FrameBind      FrameType = 0x04
+	FrameExecute   FrameType = 0x05
+	FrameCancel    FrameType = 0x06
+	FrameCloseStmt FrameType = 0x07
+	FrameTerminate FrameType = 0x08
+
+	FrameHelloOK     FrameType = 0x81
+	FramePrepareOK   FrameType = 0x82
+	FrameBindOK      FrameType = 0x83
+	FrameCloseOK     FrameType = 0x84
+	FrameRowHeader   FrameType = 0x85
+	FrameRowBatch    FrameType = 0x86
+	FrameRowBatchStr FrameType = 0x87
+	FrameDone        FrameType = 0x88
+	FrameErr         FrameType = 0x89
+)
+
+// FlagDecode on Query/Execute asks for RowBatchStr frames: cells decoded
+// through the catalog dictionaries server-side instead of raw uint64
+// codes. Raw mode is the default — it is bit-identical to in-process
+// Session.Query results.
+const FlagDecode byte = 1 << 0
+
+// Class is a protocol error class — the wire generalization of the HTTP
+// serve mode's status mapping, so overload, cancellation and server
+// failure stay distinguishable to any client.
+type Class byte
+
+const (
+	// ClassBadRequest: the statement is at fault (parse/plan errors,
+	// unknown prepared names, malformed frames). HTTP 400.
+	ClassBadRequest Class = 1
+	// ClassCancelled: the client cancelled or disconnected mid-query.
+	// HTTP 499 (the nginx convention the serve mode already used).
+	ClassCancelled Class = 2
+	// ClassInternal: execution failed server-side (spill I/O). HTTP 500.
+	ClassInternal Class = 3
+	// ClassUnavailable: the engine is shut down or shutting down. HTTP 503.
+	ClassUnavailable Class = 4
+	// ClassOverloaded: admission control shed this query — the session's
+	// queue is full (qppt.ErrOverloaded). Back off and retry. HTTP 503.
+	ClassOverloaded Class = 5
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassBadRequest:
+		return "bad-request"
+	case ClassCancelled:
+		return "cancelled"
+	case ClassInternal:
+		return "internal"
+	case ClassUnavailable:
+		return "unavailable"
+	case ClassOverloaded:
+		return "overloaded"
+	}
+	return fmt.Sprintf("class-%d", byte(c))
+}
+
+// HTTPStatus is the single home of the error-class ↔ HTTP status
+// mapping; the HTTP serve mode is a thin adapter over the wire server
+// and derives every response status from it.
+func (c Class) HTTPStatus() int {
+	switch c {
+	case ClassBadRequest:
+		return http.StatusBadRequest
+	case ClassCancelled:
+		return 499 // client closed request (nginx convention)
+	case ClassUnavailable, ClassOverloaded:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// Classify maps an execution error onto its protocol class: typed engine
+// conditions (overload, closed engine, cancellation) take precedence,
+// anything else gets the caller's stage fallback (ClassBadRequest while
+// planning, ClassInternal while executing).
+func Classify(err error, fallback Class) Class {
+	switch {
+	case errors.Is(err, qppt.ErrOverloaded):
+		return ClassOverloaded
+	case errors.Is(err, qppt.ErrEngineClosed):
+		return ClassUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCancelled
+	}
+	return fallback
+}
+
+// Error is a server-reported failure, decoded from an Err frame by the
+// client (and used server-side to carry a class to the frame writer).
+type Error struct {
+	Class Class
+	Msg   string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("qppt wire: %s: %s", e.Class, e.Msg) }
+
+// Is lets errors.Is match the engine's typed sentinels through a wire
+// round-trip: a ClassOverloaded error is qppt.ErrOverloaded to the
+// caller, a ClassUnavailable one qppt.ErrEngineClosed.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case qppt.ErrOverloaded:
+		return e.Class == ClassOverloaded
+	case qppt.ErrEngineClosed:
+		return e.Class == ClassUnavailable
+	}
+	return false
+}
+
+// WriteFrame writes one frame: type byte, big-endian payload length,
+// payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads beyond max.
+func ReadFrame(r io.Reader, max int) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if int(n) > max {
+		return 0, nil, fmt.Errorf("qppt wire: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// A Payload builds a frame payload: uvarint scalars, length-prefixed
+// strings.
+type Payload struct{ Buf []byte }
+
+func (p *Payload) U8(b byte) { p.Buf = append(p.Buf, b) }
+
+func (p *Payload) Uvarint(v uint64) { p.Buf = binary.AppendUvarint(p.Buf, v) }
+
+func (p *Payload) Str(s string) {
+	p.Buf = binary.AppendUvarint(p.Buf, uint64(len(s)))
+	p.Buf = append(p.Buf, s...)
+}
+
+// A PayloadReader decodes a frame payload. Decoding errors stick: check
+// Err once after the reads (every getter returns a zero value once the
+// reader has failed).
+type PayloadReader struct {
+	buf []byte
+	err error
+}
+
+func NewPayloadReader(buf []byte) *PayloadReader { return &PayloadReader{buf: buf} }
+
+var errTruncated = errors.New("qppt wire: truncated payload")
+
+func (r *PayloadReader) U8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.err = errTruncated
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *PayloadReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *PayloadReader) Str() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.err = errTruncated
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// Err reports the first decoding failure, or nil.
+func (r *PayloadReader) Err() error { return r.err }

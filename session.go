@@ -8,12 +8,15 @@ import (
 )
 
 // A Session is the per-client handle on an Engine: it plans SQL against
-// one catalog and runs the plans on the engine's shared resources. A
-// Session carries no mutable state of its own and is safe for concurrent
-// use.
+// one catalog and runs the plans on the engine's shared resources. It is
+// safe for concurrent use. Each session is one admission-fairness domain
+// (see Config.MaxPlans); sessions opened with Engine.Conn additionally
+// carry a prepared-statement cache.
 type Session struct {
 	eng     *Engine
 	planner *sql.Planner
+	id      uint64
+	cache   *stmtCache // nil unless opened with Engine.Conn
 }
 
 // Conn is a Session: the name database drivers use for the same handle.
@@ -21,6 +24,41 @@ type Conn = Session
 
 // Engine returns the engine the session runs on.
 func (s *Session) Engine() *Engine { return s.eng }
+
+// ID is the session's admission-fairness identity: the gate round-robins
+// freed slots across distinct IDs.
+func (s *Session) ID() uint64 { return s.id }
+
+// Close releases the session's prepared-statement cache (no-op for
+// sessions without one). The session itself holds no other resources —
+// statements already returned stay runnable.
+func (s *Session) Close() error {
+	if s.cache != nil {
+		s.cache.drop()
+	}
+	return nil
+}
+
+// PrepareCached is Prepare through the session's statement cache:
+// planning happens once per distinct SQL text and repeats are served
+// from the LRU (an Engine.Stats statement-cache hit — the Bind fast path
+// of the wire protocol). Sessions without a cache (Engine.Session) plan
+// every call. The cache does not fingerprint opts; callers must pass the
+// same options for the same text, as a protocol connection does.
+func (s *Session) PrepareCached(ctx context.Context, text string, opts ...QueryOption) (*Stmt, error) {
+	if s.cache == nil {
+		return s.Prepare(ctx, text, opts...)
+	}
+	if st, ok := s.cache.lookup(text); ok {
+		return st, nil
+	}
+	st, err := s.Prepare(ctx, text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.add(text, st)
+	return st, nil
+}
 
 // Query parses, plans and executes one SQL statement. The returned rows
 // are materialized and fully owned by the caller; cancelling ctx unwinds
@@ -71,19 +109,29 @@ type Stmt struct {
 func (st *Stmt) Attrs() []string { return st.stmt.Attrs }
 
 // Run executes the prepared statement. Options passed here override the
-// statement's defaults for this run only.
+// statement's defaults for this run only. Under Config.MaxPlans the run
+// first passes the engine's admission gate in its session's fair queue;
+// a full queue fails fast with ErrOverloaded, and the queue wait is
+// reported as PlanStats.AdmissionWait.
 func (st *Stmt) Run(ctx context.Context, opts ...QueryOption) (*sql.Rows, *core.PlanStats, error) {
 	eng := st.sess.eng
 	if err := eng.begin(); err != nil {
 		return nil, nil, err
 	}
 	defer eng.end()
+	release, wait, err := eng.admit(ctx, st.sess.id)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	q := st.base
 	for _, o := range opts {
 		o(&q)
 	}
 	eng.queries.Add(1)
-	return st.stmt.RunExec(ctx, eng.env, q.exec)
+	exec := q.exec
+	exec.AdmissionWait = wait
+	return st.stmt.RunExec(ctx, eng.env, exec)
 }
 
 // queryConfig accumulates the per-query knobs QueryOptions set.

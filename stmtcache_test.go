@@ -1,0 +1,164 @@
+package qppt_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"qppt"
+	"qppt/internal/ssb"
+)
+
+// TestConnStmtCache: Engine.Conn sessions cache prepared statements in
+// an LRU with engine-wide hit/miss/eviction counters; plain Sessions
+// never cache.
+func TestConnStmtCache(t *testing.T) {
+	ds := engineDataset(t)
+	eng, err := qppt.New(qppt.Config{Workers: 2, StmtCache: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	conn := eng.Conn(ds.Cat)
+	ctx := context.Background()
+
+	a, err := conn.PrepareCached(ctx, ssb.SQLTexts["1.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := conn.PrepareCached(ctx, ssb.SQLTexts["1.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second PrepareCached of one text returned a different statement")
+	}
+	st := eng.Stats().StmtCache
+	if st.Hits != 1 || st.Misses != 1 || st.Cached != 1 {
+		t.Errorf("after one repeat: stats %+v, want 1 hit / 1 miss / 1 cached", st)
+	}
+
+	// Capacity 2: a third distinct text evicts the least recently used.
+	if _, err := conn.PrepareCached(ctx, ssb.SQLTexts["2.1"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.PrepareCached(ctx, ssb.SQLTexts["3.1"]); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats().StmtCache
+	if st.Evicted != 1 || st.Cached != 2 {
+		t.Errorf("after overflow: stats %+v, want 1 evicted / 2 cached", st)
+	}
+	// 1.1 was evicted (LRU); re-preparing it is a miss, 3.1 stays a hit.
+	if _, err := conn.PrepareCached(ctx, ssb.SQLTexts["3.1"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.PrepareCached(ctx, ssb.SQLTexts["1.1"]); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats().StmtCache
+	if st.Hits != 2 || st.Misses != 4 || st.Evicted != 2 {
+		t.Errorf("after LRU churn: stats %+v, want 2 hits / 4 misses / 2 evicted", st)
+	}
+
+	// Cached statements stay runnable and correct.
+	rows, _, err := b.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := eng.Session(ds.Cat).Query(ctx, ssb.SQLTexts["1.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != len(ref.Rows) {
+		t.Errorf("cached statement returned %d rows, want %d", len(rows.Rows), len(ref.Rows))
+	}
+
+	// Close drops the connection's entries from the engine-wide gauge.
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats().StmtCache; st.Cached != 0 {
+		t.Errorf("cached gauge %d after Conn.Close, want 0", st.Cached)
+	}
+
+	// Plain sessions never cache.
+	sess := eng.Session(ds.Cat)
+	before := eng.Stats().StmtCache
+	if _, err := sess.PrepareCached(ctx, ssb.SQLTexts["1.1"]); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Stats().StmtCache; after != before {
+		t.Errorf("plain Session touched the statement cache: %+v -> %+v", before, after)
+	}
+}
+
+// TestEngineAdmission: with MaxPlans set, concurrent queries pass the
+// gate (all admitted, results correct), Stats reports the traffic, and
+// PlanStats carries the queue wait.
+func TestEngineAdmission(t *testing.T) {
+	ds := engineDataset(t)
+	eng, err := qppt.New(qppt.Config{Workers: 2, MaxPlans: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ref, _, err := eng.Session(ds.Cat).Query(context.Background(), ssb.SQLTexts["2.2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := eng.Session(ds.Cat)
+			rows, _, err := sess.Query(context.Background(), ssb.SQLTexts["2.2"])
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rows.Rows) != len(ref.Rows) {
+				errs <- errors.New("result changed under admission control")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := eng.Stats()
+	if st.Admission.MaxPlans != 1 || st.Admission.Admitted < n {
+		t.Errorf("admission stats %+v, want MaxPlans 1 and >= %d admitted", st.Admission, n)
+	}
+	if st.Admission.Running != 0 || st.Admission.Queued != 0 {
+		t.Errorf("gate not drained: %+v", st.Admission)
+	}
+	if s := st.String(); s == "" {
+		t.Error("Stats.String() empty")
+	}
+}
+
+// TestEngineNoAdmission: the zero config keeps the gate off — Stats
+// reports an empty admission block and queries never wait.
+func TestEngineNoAdmission(t *testing.T) {
+	ds := engineDataset(t)
+	eng, err := qppt.New(qppt.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, _, err := eng.Session(ds.Cat).Query(context.Background(), ssb.SQLTexts["1.2"]); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats().Admission; st.MaxPlans != 0 || st.Admitted != 0 {
+		t.Errorf("gate active without MaxPlans: %+v", st)
+	}
+}
